@@ -1,0 +1,51 @@
+#pragma once
+// Shared plumbing for the paper-reproduction benchmark binaries.
+//
+// Every binary runs with no arguments and completes on a laptop in seconds
+// to a few minutes; environment variables scale the workload back up to
+// paper scale:
+//   GSHE_TIMEOUT_S     per-attack timeout in seconds (default 2; paper 48 h)
+//   GSHE_FIG4_RUNS     Monte-Carlo transients per current (default 1500;
+//                      paper 100 000)
+//   GSHE_STT_RUNS      repetitions of the Sec. II STT-LUT experiment
+//                      (default 10; paper 100)
+//   GSHE_TABLE4_FULL   set to 1 to run the full 7-circuit Table IV grid
+
+#include <cstdio>
+#include <string>
+
+#include "common/env.hpp"
+
+namespace gshe::bench {
+
+inline double attack_timeout_s() { return env_double("GSHE_TIMEOUT_S", 5.0); }
+
+inline void banner(const char* id, const char* title) {
+    std::printf("\n================================================================\n");
+    std::printf("%s — %s\n", id, title);
+    std::printf("(reproduction of: Patnaik et al., \"Advancing Hardware Security\n");
+    std::printf(" Using Polymorphic and Stochastic Spin-Hall Effect Devices\", DATE 2018)\n");
+    std::printf("================================================================\n");
+}
+
+inline std::string eng(double v, const char* unit) {
+    char buf[64];
+    if (v == 0.0) {
+        std::snprintf(buf, sizeof buf, "0 %s", unit);
+    } else if (v >= 1.0) {
+        std::snprintf(buf, sizeof buf, "%.4g %s", v, unit);
+    } else if (v >= 1e-3) {
+        std::snprintf(buf, sizeof buf, "%.4g m%s", v * 1e3, unit);
+    } else if (v >= 1e-6) {
+        std::snprintf(buf, sizeof buf, "%.4g u%s", v * 1e6, unit);
+    } else if (v >= 1e-9) {
+        std::snprintf(buf, sizeof buf, "%.4g n%s", v * 1e9, unit);
+    } else if (v >= 1e-12) {
+        std::snprintf(buf, sizeof buf, "%.4g p%s", v * 1e12, unit);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.4g f%s", v * 1e15, unit);
+    }
+    return buf;
+}
+
+}  // namespace gshe::bench

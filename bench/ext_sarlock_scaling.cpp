@@ -1,0 +1,86 @@
+// EXT — "provably secure" baseline: SARLock-class point-function protection
+// vs large-scale GSHE camouflaging (Sec. V-A: "we believe that this renders
+// our scheme competitive on par with provably secure techniques").
+//
+// Two different roads to SAT-attack intractability:
+//  * SARLock: DIP count grows ~2^m with the protected bits — exponentially
+//    many iterations, each cheap;
+//  * GSHE-16 at scale: few DIPs, but each miter solve explodes with the
+//    solution space k^cells.
+// This bench measures both curves.
+#include <cstdio>
+
+#include "attack/oracle.hpp"
+#include "attack/sat_attack.hpp"
+#include "bench_util.hpp"
+#include "camo/cell_library.hpp"
+#include "camo/protect.hpp"
+#include "camo/sarlock.hpp"
+#include "common/ascii_table.hpp"
+#include "netlist/corpus.hpp"
+#include "netlist/generator.hpp"
+
+using namespace gshe;
+using namespace gshe::attack;
+
+int main() {
+    bench::banner("EXTENSION", "SARLock [6] scaling vs GSHE-16 camouflaging");
+    const double timeout = std::max(bench::attack_timeout_s(), 20.0);
+
+    netlist::RandomSpec spec;
+    spec.n_inputs = 14;
+    spec.n_outputs = 8;
+    spec.n_gates = 120;
+    spec.seed = 0x5a1;
+    const netlist::Netlist base = netlist::random_circuit(spec, "base");
+
+    AsciiTable t1("SARLock: DIP count doubles per protected bit (flat cost/DIP)");
+    t1.header({"m bits", "wrong keys", "DIPs", "time", "s/DIP", "status"});
+    for (const int m : {4, 6, 8, 10}) {
+        const auto prot = camo::apply_sarlock(base, m, 0x5a2);
+        ExactOracle oracle(prot.netlist);
+        AttackOptions opt;
+        opt.timeout_seconds = timeout;
+        const AttackResult res = sat_attack(prot.netlist, oracle, opt);
+        char per_dip[32];
+        std::snprintf(per_dip, sizeof per_dip, "%.4f",
+                      res.iterations ? res.seconds / res.iterations : 0.0);
+        t1.row({std::to_string(m), std::to_string((1 << m) - 1),
+                std::to_string(res.iterations),
+                AsciiTable::runtime(res.seconds, res.timed_out()), per_dip,
+                res.status == AttackResult::Status::Success
+                    ? (res.key_exact ? "exact" : "wrong")
+                    : "t-o"});
+        std::fflush(stdout);
+    }
+    std::puts(t1.render().c_str());
+
+    AsciiTable t2("GSHE-16 camouflaging: few DIPs, exploding per-DIP cost");
+    t2.header({"protected", "key bits", "DIPs", "time", "s/DIP", "status"});
+    for (const double frac : {0.05, 0.10, 0.15, 0.20}) {
+        const auto sel = camo::select_gates(base, frac, 0x5a3);
+        const auto prot = camo::apply_camouflage(base, sel, camo::gshe16(), 0x5a3);
+        ExactOracle oracle(prot.netlist);
+        AttackOptions opt;
+        opt.timeout_seconds = timeout;
+        const AttackResult res = sat_attack(prot.netlist, oracle, opt);
+        char per_dip[32];
+        std::snprintf(per_dip, sizeof per_dip, "%.4f",
+                      res.iterations ? res.seconds / res.iterations : 0.0);
+        t2.row({AsciiTable::num(frac * 100, 3) + "%",
+                std::to_string(prot.netlist.key_bit_count()),
+                std::to_string(res.iterations),
+                AsciiTable::runtime(res.seconds, res.timed_out()), per_dip,
+                res.status == AttackResult::Status::Success
+                    ? (res.key_exact ? "exact" : "wrong")
+                    : "t-o"});
+        std::fflush(stdout);
+    }
+    std::puts(t2.render().c_str());
+    std::puts("SARLock's guarantee is an iteration floor; GSHE camouflaging's");
+    std::puts("strength is per-iteration cost. The paper's point: at full-chip");
+    std::puts("scale the latter matches the former in practice — and the GSHE");
+    std::puts("primitive additionally corrupts >1 output per wrong key, instead");
+    std::puts("of SARLock's single-minterm error.");
+    return 0;
+}

@@ -1,0 +1,53 @@
+// E3 — Fig. 4: switching-delay distributions of the GSHE switch at
+// IS = 20/60/100 uA from stochastic LLGS Monte Carlo. The paper runs
+// 100 000 transients per current (GSHE_FIG4_RUNS=100000 reproduces that);
+// the default uses 1500 for a seconds-scale run.
+//
+// Expected shape: spread and mean delay diminish with increasing IS, at the
+// cost of higher power; switching is deterministic (every trial completes).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/ascii_table.hpp"
+#include "core/characterization.hpp"
+
+using namespace gshe;
+using namespace gshe::core;
+
+int main() {
+    bench::banner("FIG. 4", "delay distributions vs spin current");
+    const auto trials =
+        static_cast<std::size_t>(env_long("GSHE_FIG4_RUNS", 1500));
+    std::printf("transients per current: %zu (paper: 100000)\n", trials);
+
+    const GsheSwitch device;
+    AsciiTable summary("Summary (paper: mean 1.55 ns at IS = 20 uA)");
+    summary.header({"IS", "switched", "mean", "std dev", "min", "max",
+                    "read-out power"});
+
+    for (const double is : {20e-6, 60e-6, 100e-6}) {
+        const DelayDistribution d =
+            characterize_delay(device, is, trials, /*seed=*/0xF164);
+        summary.row({bench::eng(is, "A"),
+                     std::to_string(d.switched) + "/" + std::to_string(d.trials),
+                     bench::eng(d.stats.mean(), "s"),
+                     bench::eng(d.stats.stddev(), "s"),
+                     bench::eng(d.stats.min(), "s"),
+                     bench::eng(d.stats.max(), "s"),
+                     bench::eng(readout_point(device.params(), is).power, "W")});
+
+        std::printf("\nIS = %s — fraction of occurrences per delay bin (0-6 ns):\n",
+                    bench::eng(is, "A").c_str());
+        // Render at the paper's axis: 0-6 ns, fraction-of-occurrences bars.
+        Histogram display(0.0, 6e-9, 30);
+        for (std::size_t b = 0; b < d.histogram.bins(); ++b)
+            display.add(d.histogram.bin_center(b), d.histogram.count(b));
+        std::puts(display.ascii(48).c_str());
+    }
+    std::puts(summary.render().c_str());
+    std::puts("Note: our sLLGS macrospin lands the 20 uA mean at ~2.3 ns vs the");
+    std::puts("paper's 1.55 ns (see EXPERIMENTS.md); the monotone shrinkage of");
+    std::puts("mean and spread with IS — the property the primitive's delay-aware");
+    std::puts("deployment relies on — reproduces cleanly.");
+    return 0;
+}

@@ -1,0 +1,60 @@
+// E11 — Fig. 6: path-delay distributions of the IBM superblue circuits.
+// "Large-scale circuits typically exhibit biased distributions of delay
+// paths, with most paths having short delays but few paths having dominant,
+// critical delays" — the structural fact the delay-aware hybrid CMOS-GSHE
+// deployment exploits.
+//
+// One histogram per superblue-class stand-in (endpoint worst-arrival
+// distribution, as an STA "path" report); the critical paths are the
+// sparse right-tail marks.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/ascii_table.hpp"
+#include "netlist/corpus.hpp"
+#include "sta/sta.hpp"
+
+using namespace gshe;
+using namespace gshe::sta;
+
+int main() {
+    bench::banner("FIG. 6", "path-delay distributions, superblue-class circuits");
+
+    AsciiTable summary("Summary");
+    summary.header({"Circuit", "gates", "endpoints", "critical delay",
+                    "median endpoint", "total paths (DP)"});
+
+    for (const auto& entry : netlist::timing_corpus()) {
+        const netlist::Netlist nl = netlist::build_benchmark(entry.name);
+        const auto delays = gate_delays(nl);
+        const TimingReport rep = analyze(nl, delays);
+        const Histogram h = endpoint_delay_histogram(nl, delays, 30);
+
+        std::printf("\n%s — endpoints per path-delay bin (0 .. %s):\n",
+                    entry.name.c_str(),
+                    bench::eng(rep.critical_delay, "s").c_str());
+        std::puts(h.ascii(46).c_str());
+
+        // Median endpoint arrival from the histogram.
+        std::uint64_t half = h.total() / 2, acc = 0;
+        double median = 0.0;
+        for (std::size_t b = 0; b < h.bins(); ++b) {
+            acc += h.count(b);
+            if (acc >= half) {
+                median = h.bin_center(b);
+                break;
+            }
+        }
+        char paths[32];
+        std::snprintf(paths, sizeof paths, "%.3g", total_path_count(nl));
+        summary.row({entry.name, std::to_string(nl.logic_gate_count()),
+                     std::to_string(h.total()),
+                     bench::eng(rep.critical_delay, "s"),
+                     bench::eng(median, "s"), paths});
+    }
+    std::puts(summary.render().c_str());
+    std::puts("Shape check: the bulk of endpoints sits at a small fraction of the");
+    std::puts("critical delay (the paper's 0-30 ns axis with crosses at the sparse");
+    std::puts("critical paths) — the slack the GSHE primitive's 1.55 ns can hide in.");
+    return 0;
+}

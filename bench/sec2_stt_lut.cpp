@@ -1,0 +1,65 @@
+// E10 — Sec. II: the STT-LUT scheme of Winograd et al. [25] under attack.
+// "We protect the s38584 benchmark according to their technique and observe
+// that the protected layout can be decamouflaged in less than 30 seconds on
+// average (over 100 runs of camouflaging and SAT attacks). This weak
+// resilience stems from the limited use of their STT-LUT primitive to curb
+// power, performance, and area overheads."
+//
+// We reproduce the experiment on the s38584-class sequential stand-in:
+// scan-unroll, protect a small cost-constrained fraction with full 2-input
+// LUT cells, attack, repeat over seeded runs (GSHE_STT_RUNS, default 10).
+#include <cstdio>
+
+#include "attack/oracle.hpp"
+#include "attack/sat_attack.hpp"
+#include "bench_util.hpp"
+#include "camo/cell_library.hpp"
+#include "camo/protect.hpp"
+#include "common/ascii_table.hpp"
+#include "common/stats.hpp"
+#include "netlist/corpus.hpp"
+#include "netlist/sequential.hpp"
+
+using namespace gshe;
+using namespace gshe::attack;
+
+int main() {
+    bench::banner("SEC. II", "STT-LUT [25]: cost-constrained protection breaks fast");
+    const auto runs = static_cast<std::size_t>(env_long("GSHE_STT_RUNS", 10));
+    // Winograd et al. constrain the LUT count to curb PPA overheads; ~2% of
+    // gates mirrors their reported deployment scale.
+    const double fraction = 0.02;
+
+    const netlist::Netlist seq = netlist::build_benchmark("s38584");
+    const netlist::Netlist comb = netlist::unroll_for_scan(seq);
+    std::printf("s38584 stand-in: %zu gates, %zu FFs -> scan view %zu in / %zu out\n",
+                seq.logic_gate_count(), seq.dffs().size(), comb.inputs().size(),
+                comb.outputs().size());
+
+    RunningStats times;
+    std::size_t broken = 0;
+    AsciiTable t("Per-run results (" + std::to_string(runs) + " seeded runs; paper: 100)");
+    t.header({"Run", "LUT cells", "key bits", "DIPs", "time", "exact key"});
+    for (std::size_t r = 0; r < runs; ++r) {
+        const auto sel = camo::select_gates(comb, fraction, 1000 + r);
+        const auto prot = camo::apply_camouflage(comb, sel, camo::stt_lut16(), 1000 + r);
+        ExactOracle oracle(prot.netlist);
+        AttackOptions opt;
+        opt.timeout_seconds = 60.0;
+        const AttackResult res = sat_attack(prot.netlist, oracle, opt);
+        if (res.status == AttackResult::Status::Success) {
+            ++broken;
+            times.add(res.seconds);
+        }
+        t.row({std::to_string(r), std::to_string(sel.size()),
+               std::to_string(prot.netlist.key_bit_count()),
+               std::to_string(res.iterations),
+               AsciiTable::runtime(res.seconds, res.timed_out()),
+               res.key_exact ? "yes" : "no"});
+    }
+    std::puts(t.render().c_str());
+    std::printf("decamouflaged %zu/%zu runs; mean attack time %.3f s "
+                "(paper: < 30 s average)\n",
+                broken, runs, times.count() ? times.mean() : 0.0);
+    return 0;
+}

@@ -1,0 +1,59 @@
+// E1/E2 — Table I material parameters with derived electrical quantities,
+// and the Fig. 3 read-out equivalent circuit operating point (power 0.2125
+// uW, energy 0.33 fJ, area 0.0016 um^2 in the paper).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/ascii_table.hpp"
+#include "core/characterization.hpp"
+#include "core/gshe_switch.hpp"
+#include "spin/demag.hpp"
+
+using namespace gshe;
+using namespace gshe::core;
+
+int main() {
+    bench::banner("TABLE I + FIG. 3", "GSHE switch parameters and read-out circuit");
+
+    const GsheSwitchParams p;
+
+    AsciiTable t1("Table I — material parameters (paper values in defaults)");
+    t1.header({"Parameter", "Value"});
+    t1.row({"Volume of nanomagnets", "(28 x 15 x 2) nm^3"});
+    t1.row({"Ms (W-NM)", bench::eng(p.write_nm.ms, "A/m")});
+    t1.row({"Ms (R-NM)", bench::eng(p.read_nm.ms, "A/m")});
+    t1.row({"Ku (W-NM)", AsciiTable::num(p.write_nm.ku) + " J/m^3"});
+    t1.row({"Ku (R-NM)", AsciiTable::num(p.read_nm.ku) + " J/m^3"});
+    t1.row({"IS deterministic switching", bench::eng(p.deterministic_spin_current, "A")});
+    t1.row({"RAP", "1 Ohm*um^2"});
+    t1.row({"TMR", AsciiTable::num(p.tmr * 100) + " %"});
+    t1.row({"rho (heavy metal)", AsciiTable::num(p.rho_hm) + " Ohm*m"});
+    t1.row({"theta_SH", AsciiTable::num(p.theta_sh)});
+    t1.row({"t_HM", bench::eng(p.t_hm, "m")});
+    std::puts(t1.render().c_str());
+
+    const auto n = p.write_nm.demag_n;
+    AsciiTable t2("Derived quantities (paper: GP=420 uS, GAP=155.6 uS, beta=6, r~1 kOhm)");
+    t2.header({"Quantity", "Model value", "Paper"});
+    t2.row({"GP = A/RAP", bench::eng(p.gp(), "S"), "420 uS"});
+    t2.row({"GAP = GP/(1+TMR)", bench::eng(p.gap(), "S"), "155.6 uS"});
+    t2.row({"beta = theta_SH*(w_NM/t_HM)", AsciiTable::num(p.beta()), "6"});
+    t2.row({"r = rho*L/(w*t)", bench::eng(p.hm_resistance(), "Ohm"), "~1 kOhm"});
+    t2.row({"W-NM demag (Nx,Ny,Nz)",
+            "(" + AsciiTable::num(n.x, 3) + ", " + AsciiTable::num(n.y, 3) +
+                ", " + AsciiTable::num(n.z, 3) + ")",
+            "-"});
+    std::puts(t2.render().c_str());
+
+    const ReadoutPoint pt = readout_point(p, 20e-6);
+    AsciiTable t3("Fig. 3 equivalent circuit at IS = 20 uA");
+    t3.header({"Quantity", "Model value", "Paper"});
+    t3.row({"VOUT = IS*r/beta", bench::eng(pt.v_out, "V"), "-"});
+    t3.row({"VSUP", bench::eng(pt.v_sup, "V"), "-"});
+    t3.row({"read-out power P", bench::eng(pt.power, "W"), "0.2125 uW"});
+    t3.row({"energy at 1.55 ns", bench::eng(pt.power * kNominalDelay, "J"), "0.33 fJ"});
+    t3.row({"cell area", AsciiTable::num(p.area() * 1e12, 3) + " um^2", "0.0016 um^2"});
+    t3.row({"output current IS/beta", bench::eng(pt.out_current, "A"), "-"});
+    std::puts(t3.render().c_str());
+    return 0;
+}

@@ -1,0 +1,42 @@
+// E4 — Table II: comparison of emerging-device security primitives.
+// Literature rows are constants from the cited papers; the "This work" row
+// is computed live from the device model (read-out circuit + sLLGS Monte
+// Carlo), exactly as the paper derives it.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/ascii_table.hpp"
+#include "core/characterization.hpp"
+
+using namespace gshe;
+using namespace gshe::core;
+
+int main() {
+    bench::banner("TABLE II", "comparison of emerging-device primitives");
+
+    const GsheSwitch device;
+    const auto trials = static_cast<std::size_t>(env_long("GSHE_FIG4_RUNS", 800));
+    const DeviceMetrics ours = characterize_device(device, 20e-6, trials, 0x7ab1e2);
+
+    AsciiTable t("Table II (literature rows quoted from the respective papers)");
+    t.header({"Publication", "# Functions", "Energy", "Power", "Delay"});
+    t.row({"[19] SiNW NAND/NOR", "2", "0.05-0.1 fJ", "1.13-1.77 uW", "42-56 ps"});
+    t.row({"[24, a] ASL NAND/NOR/AND/OR", "4", "0.58 pJ", "351.52 uW", "1.65 ns"});
+    t.row({"[24, b] ASL XOR/XNOR", "2", "1.16 pJ", "351.52 uW", "3.3 ns"});
+    t.row({"[24, c] ASL INV/BUF", "2", "0.13 pJ", "342.11 uW", "0.38 ns"});
+    t.row({"[30] DWM AND/OR", "2", "67.72 fJ", "60.46 uW", "1.12 ns"});
+    t.row({"[20] DWM 7-function", "7", "N/A", "N/A", "N/A"});
+    t.row({"[23] GSHE AND/OR/NAND/NOR", "4", "N/A", "N/A", "N/A"});
+    t.row({"[25] STT 6-function", "6", "N/A", "N/A", "N/A"});
+    t.row({"This work (measured from model)", std::to_string(ours.functions),
+           bench::eng(ours.energy, "J"), bench::eng(ours.power, "W"),
+           bench::eng(ours.delay, "s")});
+    t.row({"This work (paper row)", "16", "0.33 fJ", "0.2125 uW", "1.55 ns"});
+    std::puts(t.render().c_str());
+
+    std::puts("Shape check: the GSHE primitive cloaks all 16 functions (4-8x the");
+    std::puts("prior art) at orders of magnitude lower power than the spin-logic");
+    std::puts("alternatives, with its delay its only weak metric — motivating the");
+    std::puts("delay-aware deployment of Sec. V-A.");
+    return 0;
+}

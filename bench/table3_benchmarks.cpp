@@ -1,0 +1,38 @@
+// E7 — Table III: characteristics of the synthesized benchmarks. The paper
+// columns are quoted; our columns are measured from the seeded synthetic
+// stand-ins actually used by the Table IV / Fig. 6 benches (see DESIGN.md
+// for the substitution rationale and scale factors).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/ascii_table.hpp"
+#include "netlist/corpus.hpp"
+
+using namespace gshe;
+using namespace gshe::netlist;
+
+int main() {
+    bench::banner("TABLE III", "benchmark characteristics (paper vs stand-in)");
+
+    AsciiTable t("italics: EPFL suite; bold: IBM superblue (paper notation)");
+    t.header({"Benchmark", "Suite", "Paper in/out/gates", "Ours in/out/gates",
+              "Scale", "Class"});
+    for (const CorpusEntry& e : corpus_entries()) {
+        const Netlist nl = build_benchmark(e.name);
+        const auto gates = nl.logic_gate_count();
+        char paper[64], ours[64], scale[32];
+        std::snprintf(paper, sizeof paper, "%d / %d / %d", e.paper_inputs,
+                      e.paper_outputs, e.paper_gates);
+        std::snprintf(ours, sizeof ours, "%zu / %zu / %zu", nl.inputs().size(),
+                      nl.outputs().size(), gates);
+        std::snprintf(scale, sizeof scale, "1:%.0f",
+                      static_cast<double>(e.paper_gates) /
+                          static_cast<double>(gates));
+        const char* cls = e.cls == CorpusClass::SatAttack  ? "SAT study"
+                          : e.cls == CorpusClass::Timing   ? "timing study"
+                                                           : "sequential";
+        t.row({e.name, e.suite, paper, ours, scale, cls});
+    }
+    std::puts(t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,66 @@
+// Example: the defender/attacker loop on a realistic benchmark.
+//
+// A c7552-class circuit is protected at increasing strength with the
+// 16-function GSHE primitive and with the strongest prior-art library from
+// Table IV; the oracle-guided SAT attack is run against each. The output
+// shows the resilience gap that Table IV quantifies — and writes the
+// protected netlist to .bench for use with external tools.
+#include <cstdio>
+#include <fstream>
+
+#include "attack/oracle.hpp"
+#include "attack/sat_attack.hpp"
+#include "camo/cell_library.hpp"
+#include "camo/locking.hpp"
+#include "camo/protect.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/corpus.hpp"
+
+using namespace gshe;
+
+int main() {
+    const netlist::Netlist nl = netlist::build_benchmark("c7552");
+    std::printf("benchmark: %s — %zu inputs, %zu outputs, %zu gates\n",
+                nl.name().c_str(), nl.inputs().size(), nl.outputs().size(),
+                nl.logic_gate_count());
+
+    for (const double fraction : {0.05, 0.10, 0.20}) {
+        const auto selection = camo::select_gates(nl, fraction, 2024);
+        std::printf("\n-- protecting %.0f%% of gates (%zu cells, memorized "
+                    "selection) --\n",
+                    fraction * 100, selection.size());
+
+        for (const auto* lib : {&camo::parveen17_dwm(), &camo::gshe16()}) {
+            const auto prot = camo::apply_camouflage(nl, selection, *lib, 2024);
+            attack::ExactOracle oracle(prot.netlist);
+            attack::AttackOptions opt;
+            opt.timeout_seconds = 10.0;
+            const auto res = attack::sat_attack(prot.netlist, oracle, opt);
+            std::printf("  %-22s (%2d fns, %3d key bits): %s",
+                        lib->name.c_str(), lib->function_count(),
+                        prot.netlist.key_bit_count(),
+                        attack::AttackResult::status_name(res.status).c_str());
+            if (res.status == attack::AttackResult::Status::Success)
+                std::printf(" in %.3f s after %zu DIPs (key %s)", res.seconds,
+                            res.iterations, res.key_exact ? "exact" : "WRONG");
+            std::puts("");
+        }
+    }
+
+    // Export: camouflaged netlist and its locked equivalent.
+    const auto selection = camo::select_gates(nl, 0.10, 2024);
+    const auto prot = camo::apply_camouflage(nl, selection, camo::gshe16(), 2024);
+    {
+        std::ofstream f("c7552_camouflaged.bench");
+        netlist::write_bench(f, prot.netlist);
+    }
+    const auto locked = camo::to_locked(prot.netlist);
+    {
+        std::ofstream f("c7552_locked.bench");
+        netlist::write_bench(f, locked.netlist);
+    }
+    std::printf("\nwrote c7552_camouflaged.bench (camo annotations in comments)\n");
+    std::printf("wrote c7552_locked.bench (%zu key inputs; correct key %s)\n",
+                locked.key_inputs.size(), locked.correct_key.to_string().c_str());
+    return 0;
+}

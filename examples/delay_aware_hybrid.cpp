@@ -1,0 +1,60 @@
+// Example: hybrid CMOS-GSHE design flow (Sec. V-A).
+//
+// The GSHE primitive is ~50x slower than a CMOS gate, so it is deployed
+// only where timing slack hides it. This example runs the full flow on a
+// superblue-class circuit: STA -> zero-overhead selection -> camouflaging
+// -> verification that the critical delay is untouched -> SAT attack on
+// the protected design.
+#include <cstdio>
+
+#include "attack/oracle.hpp"
+#include "attack/sat_attack.hpp"
+#include "camo/cell_library.hpp"
+#include "camo/protect.hpp"
+#include "netlist/corpus.hpp"
+#include "sta/delay_aware.hpp"
+
+using namespace gshe;
+
+int main() {
+    const netlist::Netlist nl = netlist::build_benchmark("sb18");
+    std::printf("circuit: %s — %zu gates, depth %d\n", nl.name().c_str(),
+                nl.logic_gate_count(), nl.depth());
+
+    // Baseline timing profile.
+    sta::DelayAwareOptions opt;
+    opt.restrict_to_nand_nor = true;
+    const auto delays = sta::gate_delays(nl, opt.model);
+    const auto rep = sta::analyze(nl, delays);
+    std::printf("CMOS-only critical delay: %.3f ns (clock target)\n",
+                rep.critical_delay * 1e9);
+    std::printf("GSHE cell delay: %.3f ns -> naive full-chip replacement would "
+                "blow the clock by ~%.0fx\n",
+                opt.model.gshe_s * 1e9, opt.model.gshe_s / opt.model.nand_s);
+
+    // Zero-overhead selection.
+    const auto da = sta::delay_aware_select(nl, opt);
+    std::printf("\ndelay-aware selection: %zu of %zu gates (%.1f%%) replaceable "
+                "at ZERO overhead\n",
+                da.replaced.size(), nl.logic_gate_count(),
+                da.fraction_replaced * 100);
+    std::printf("critical delay after replacement: %.3f ns (baseline %.3f ns)\n",
+                da.final_critical * 1e9, da.baseline_critical * 1e9);
+
+    // Camouflage those gates and attack.
+    const auto prot = camo::apply_camouflage(nl, da.replaced, camo::gshe16(), 5);
+    std::printf("\ncamouflaged %zu cells -> %d key bits\n",
+                prot.netlist.camo_cells().size(), prot.netlist.key_bit_count());
+
+    attack::ExactOracle oracle(prot.netlist);
+    attack::AttackOptions aopt;
+    aopt.timeout_seconds = 10.0;
+    const auto res = attack::sat_attack(prot.netlist, oracle, aopt);
+    std::printf("SAT attack on the hybrid design: %s (%.1f s budget)\n",
+                attack::AttackResult::status_name(res.status).c_str(),
+                aopt.timeout_seconds);
+    std::puts("\nThe paper's observation at full scale: 5-15% of gates are");
+    std::puts("camouflageable for free, and the resulting designs resisted");
+    std::puts("240-hour attacks.");
+    return 0;
+}

@@ -1,0 +1,140 @@
+#include "attack/appsat.hpp"
+
+#include "attack/miter_detail.hpp"
+#include "attack/sat_attack.hpp"
+#include "common/timer.hpp"
+#include "netlist/simulator.hpp"
+
+namespace gshe::attack {
+
+using detail::History;
+
+AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
+                           const AppSatOptions& options) {
+    Timer timer;
+    const AttackOptions& base = options.base;
+    AttackResult res;
+    if (camo_nl.camo_cells().empty()) {
+        res.status = AttackResult::Status::Success;
+        res.key_error_rate = 0.0;
+        res.key_exact = true;
+        return res;
+    }
+
+    sat::Solver solver(base.solver);
+    const auto enc1 = sat::encode_circuit(solver, camo_nl);
+    const auto enc2 = sat::encode_circuit(solver, camo_nl, enc1.pis);
+    sat::add_difference(solver, enc1.outs, enc2.outs);
+
+    netlist::Simulator sim(camo_nl);
+    Rng sample_rng(options.sample_seed);
+    History history;
+
+    auto record = [&](std::vector<bool> x, std::vector<bool> y) {
+        detail::add_agreement(solver, camo_nl, enc1.keys, x, y);
+        detail::add_agreement(solver, camo_nl, enc2.keys, x, y);
+        history.add(std::move(x), std::move(y));
+    };
+
+    while (true) {
+        if (res.iterations >= base.max_iterations) {
+            res.status = AttackResult::Status::IterationCap;
+            break;
+        }
+        const double remaining = base.timeout_seconds - timer.seconds();
+        if (remaining <= 0.0) {
+            res.status = AttackResult::Status::TimedOut;
+            break;
+        }
+        sat::Solver::Budget budget;
+        budget.max_seconds = remaining;
+        solver.set_budget(budget);
+
+        const auto r = solver.solve();
+        if (r == sat::Solver::Result::Unknown) {
+            res.status = AttackResult::Status::TimedOut;
+            break;
+        }
+        if (r == sat::Solver::Result::Unsat) {
+            bool timed_out = false;
+            const auto key = detail::extract_consistent_key(
+                camo_nl, history, base.timeout_seconds - timer.seconds(),
+                base.solver, &timed_out);
+            if (key) {
+                res.status = AttackResult::Status::Success;
+                res.key = *key;
+            } else {
+                res.status = timed_out ? AttackResult::Status::TimedOut
+                                       : AttackResult::Status::Inconsistent;
+            }
+            break;
+        }
+
+        ++res.iterations;
+        std::vector<bool> dip = detail::model_values(solver, enc1.pis);
+        std::vector<bool> response = oracle.query_single(dip);
+        record(std::move(dip), std::move(response));
+
+        // Settlement: estimate the candidate key's error on random queries.
+        if (res.iterations % options.settle_every != 0) continue;
+        bool timed_out = false;
+        const auto candidate = detail::extract_consistent_key(
+            camo_nl, history, base.timeout_seconds - timer.seconds(),
+            base.solver, &timed_out);
+        if (!candidate) {
+            if (timed_out) {
+                res.status = AttackResult::Status::TimedOut;
+                break;
+            }
+            res.status = AttackResult::Status::Inconsistent;
+            break;
+        }
+        const auto fns = camo::functions_for_key(camo_nl, *candidate);
+        std::uint64_t mismatched = 0, total = 0;
+        std::vector<std::vector<bool>> wrong_inputs;
+        std::vector<std::vector<bool>> wrong_outputs;
+        for (std::size_t w = 0; w < options.sample_words; ++w) {
+            std::vector<std::uint64_t> pi(camo_nl.inputs().size());
+            for (auto& word : pi) word = sample_rng();
+            const auto truth = oracle.query(pi);
+            const auto guess = sim.run_with_functions(pi, *fns);
+            std::uint64_t diff = 0;
+            for (std::size_t o = 0; o < truth.size(); ++o)
+                diff |= truth[o] ^ guess[o];
+            total += 64;
+            if (diff == 0) continue;
+            mismatched += static_cast<std::uint64_t>(__builtin_popcountll(diff));
+            // Reinforce with the first mismatching pattern of this word.
+            const int bit = __builtin_ctzll(diff);
+            std::vector<bool> x(pi.size()), y(truth.size());
+            for (std::size_t i = 0; i < pi.size(); ++i)
+                x[i] = ((pi[i] >> bit) & 1) != 0;
+            for (std::size_t o = 0; o < truth.size(); ++o)
+                y[o] = ((truth[o] >> bit) & 1) != 0;
+            wrong_inputs.push_back(std::move(x));
+            wrong_outputs.push_back(std::move(y));
+        }
+        const double err =
+            total == 0 ? 0.0 : static_cast<double>(mismatched) / static_cast<double>(total);
+        if (err <= options.error_threshold) {
+            // Probably-approximately-correct: settle on the candidate.
+            res.status = AttackResult::Status::Success;
+            res.key = *candidate;
+            break;
+        }
+        for (std::size_t i = 0; i < wrong_inputs.size(); ++i)
+            record(std::move(wrong_inputs[i]), std::move(wrong_outputs[i]));
+    }
+
+    res.seconds = timer.seconds();
+    res.oracle_patterns = oracle.patterns_queried();
+    res.solver_stats = solver.stats();
+    if (res.status == AttackResult::Status::Success) {
+        res.key_error_rate = key_error_rate(camo_nl, res.key,
+                                            base.verify_patterns, base.verify_seed);
+        res.key_exact = res.key_error_rate == 0.0;
+    }
+    return res;
+}
+
+}  // namespace gshe::attack

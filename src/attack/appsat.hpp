@@ -1,0 +1,29 @@
+#pragma once
+// AppSAT-style approximate attack (Shamsi et al., HOST 2017 [11]).
+//
+// The paper singles AppSAT out as "the most promising contender" against
+// the stochastic defense but could not evaluate it ("the attack was not
+// available to us"). We implement the published scheme — interleave the
+// exact DIP loop with random-query reinforcement and settle on a candidate
+// key once its sampled disagreement drops below a threshold — so the
+// Sec. V-B claim can be tested experimentally: the probabilistic oracle
+// violates the attack's consistent-solution-space assumption (footnote 6).
+
+#include "attack/attack_result.hpp"
+#include "attack/oracle.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gshe::attack {
+
+struct AppSatOptions {
+    AttackOptions base;
+    std::size_t settle_every = 4;     ///< DIP iterations between settlements
+    std::size_t sample_words = 2;     ///< random 64-pattern words per settlement
+    double error_threshold = 0.0;     ///< accept candidate at or below this
+    std::uint64_t sample_seed = 0xa99;
+};
+
+AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
+                           const AppSatOptions& options = {});
+
+}  // namespace gshe::attack

@@ -1,0 +1,48 @@
+#pragma once
+// Common result/option types for the oracle-guided attacks.
+
+#include <cstdint>
+#include <string>
+
+#include "camo/key.hpp"
+#include "sat/solver.hpp"
+
+namespace gshe::attack {
+
+struct AttackOptions {
+    /// Wall-clock budget for the whole attack; exceeded => Status::TimedOut
+    /// (the "t-o" cells of Table IV, scaled from the paper's 48 h).
+    double timeout_seconds = 60.0;
+    /// Hard cap on DIP iterations (safety net; effectively unbounded).
+    std::size_t max_iterations = 1u << 20;
+    sat::Solver::Options solver;
+    /// Random patterns used for the a-posteriori key check.
+    std::size_t verify_patterns = 1 << 12;
+    std::uint64_t verify_seed = 0xbeefcafe;
+};
+
+struct AttackResult {
+    enum class Status {
+        Success,       ///< loop converged; a key consistent with all queries
+        TimedOut,      ///< budget exhausted (paper: "t-o")
+        Inconsistent,  ///< no key matches the oracle answers (stochastic oracle)
+        IterationCap,  ///< max_iterations hit
+    };
+
+    Status status = Status::TimedOut;
+    camo::Key key;                 ///< recovered key (valid for Success)
+    std::size_t iterations = 0;    ///< distinguishing inputs used
+    double seconds = 0.0;
+    std::uint64_t oracle_patterns = 0;
+    /// Post-hoc validation against the defender's ground truth: fraction of
+    /// verify_patterns on which the recovered key's circuit differs from the
+    /// true functionality (0.0 = exact on the sample).
+    double key_error_rate = 1.0;
+    bool key_exact = false;  ///< error rate was 0 on the sample
+    sat::Solver::Stats solver_stats;
+
+    bool timed_out() const { return status == Status::TimedOut; }
+    static std::string status_name(Status s);
+};
+
+}  // namespace gshe::attack

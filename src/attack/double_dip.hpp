@@ -1,0 +1,21 @@
+#pragma once
+// Double DIP (Shen & Zhou, GLSVLSI 2017 [12]).
+//
+// "The key advancement of this attack is that it rules out at least two
+// incorrect keys in each iteration": the miter carries two key-
+// differentiated pairs (k1,k2) and (k3,k4) that disagree on the *same*
+// input, with all cross pairs constrained distinct, so whatever the oracle
+// answers, at least two distinct keys are eliminated. When no such 2-DIP
+// exists the attack falls back to the standard single-DIP loop (seeded with
+// the accumulated observations) to eliminate the remaining keys.
+
+#include "attack/attack_result.hpp"
+#include "attack/oracle.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gshe::attack {
+
+AttackResult double_dip_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
+                               const AttackOptions& options = {});
+
+}  // namespace gshe::attack

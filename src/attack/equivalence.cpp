@@ -1,0 +1,78 @@
+#include "attack/equivalence.hpp"
+
+#include <stdexcept>
+
+#include "attack/miter_detail.hpp"
+#include "sat/tseitin.hpp"
+
+namespace gshe::attack {
+namespace {
+
+EquivResult run_miter(sat::Solver& solver,
+                      const std::vector<sat::Var>& pis,
+                      const std::vector<sat::Var>& outs_a,
+                      const std::vector<sat::Var>& outs_b,
+                      double timeout_seconds) {
+    sat::add_difference(solver, outs_a, outs_b);
+    sat::Solver::Budget budget;
+    budget.max_seconds = timeout_seconds;
+    solver.set_budget(budget);
+
+    EquivResult res;
+    switch (solver.solve()) {
+        case sat::Solver::Result::Unsat:
+            res.status = EquivStatus::Equivalent;
+            break;
+        case sat::Solver::Result::Sat:
+            res.status = EquivStatus::Different;
+            res.counterexample = detail::model_values(solver, pis);
+            break;
+        case sat::Solver::Result::Unknown:
+            res.status = EquivStatus::Unknown;
+            break;
+    }
+    return res;
+}
+
+}  // namespace
+
+EquivResult check_equivalence(const netlist::Netlist& a,
+                              const netlist::Netlist& b,
+                              double timeout_seconds,
+                              const sat::Solver::Options& opts) {
+    if (a.inputs().size() != b.inputs().size() ||
+        a.outputs().size() != b.outputs().size())
+        throw std::invalid_argument("check_equivalence: interface mismatch");
+    if (!a.camo_cells().empty() || !b.camo_cells().empty())
+        throw std::invalid_argument(
+            "check_equivalence: camouflaged netlists need a key "
+            "(use check_key_equivalence)");
+
+    sat::Solver solver(opts);
+    const auto enc_a = sat::encode_circuit(solver, a);
+    const auto enc_b = sat::encode_circuit(solver, b, enc_a.pis);
+    return run_miter(solver, enc_a.pis, enc_a.outs, enc_b.outs, timeout_seconds);
+}
+
+EquivResult check_key_equivalence(const netlist::Netlist& camo_nl,
+                                  const camo::Key& key,
+                                  double timeout_seconds,
+                                  const sat::Solver::Options& opts) {
+    if (key.bits.size() != static_cast<std::size_t>(camo_nl.key_bit_count()))
+        throw std::invalid_argument("check_key_equivalence: key size mismatch");
+
+    sat::Solver solver(opts);
+    // Copy A: key variables pinned to the candidate key.
+    const auto enc_a = sat::encode_circuit(solver, camo_nl);
+    for (std::size_t i = 0; i < enc_a.keys.size(); ++i)
+        sat::fix_var(solver, enc_a.keys[i], key.bits[i]);
+    // Copy B: key variables pinned to the true key (ground truth).
+    const camo::Key truth = camo::true_key(camo_nl);
+    const auto enc_b = sat::encode_circuit(solver, camo_nl, enc_a.pis);
+    for (std::size_t i = 0; i < enc_b.keys.size(); ++i)
+        sat::fix_var(solver, enc_b.keys[i], truth.bits[i]);
+
+    return run_miter(solver, enc_a.pis, enc_a.outs, enc_b.outs, timeout_seconds);
+}
+
+}  // namespace gshe::attack

@@ -1,0 +1,57 @@
+#include "attack/miter_detail.hpp"
+
+namespace gshe::attack::detail {
+
+std::vector<bool> model_values(const sat::Solver& solver,
+                               const std::vector<sat::Var>& vars) {
+    std::vector<bool> out(vars.size());
+    for (std::size_t i = 0; i < vars.size(); ++i)
+        out[i] = solver.model_bool(vars[i]);
+    return out;
+}
+
+void add_agreement(sat::Solver& solver, const netlist::Netlist& nl,
+                   const std::vector<sat::Var>& keys,
+                   const std::vector<bool>& x, const std::vector<bool>& y) {
+    std::vector<sat::Var> xvars;
+    xvars.reserve(x.size());
+    for (bool bit : x) {
+        const sat::Var v = solver.new_var();
+        sat::fix_var(solver, v, bit);
+        xvars.push_back(v);
+    }
+    const sat::CircuitEncoding enc = sat::encode_circuit(solver, nl, xvars, keys);
+    for (std::size_t o = 0; o < enc.outs.size(); ++o)
+        sat::fix_var(solver, enc.outs[o], y[o]);
+}
+
+std::optional<camo::Key> extract_consistent_key(
+    const netlist::Netlist& nl, const History& history, double timeout_seconds,
+    const sat::Solver::Options& opts, bool* timed_out) {
+    if (timed_out != nullptr) *timed_out = false;
+    sat::Solver solver(opts);
+    // One free copy creates the key variables together with their
+    // valid-code constraints.
+    const sat::CircuitEncoding enc = sat::encode_circuit(solver, nl);
+    for (std::size_t i = 0; i < history.size(); ++i)
+        add_agreement(solver, nl, enc.keys, history.inputs[i], history.outputs[i]);
+
+    sat::Solver::Budget budget;
+    budget.max_seconds = timeout_seconds;
+    solver.set_budget(budget);
+    switch (solver.solve()) {
+        case sat::Solver::Result::Sat: {
+            camo::Key key;
+            key.bits = model_values(solver, enc.keys);
+            return key;
+        }
+        case sat::Solver::Result::Unsat:
+            return std::nullopt;
+        case sat::Solver::Result::Unknown:
+            if (timed_out != nullptr) *timed_out = true;
+            return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+}  // namespace gshe::attack::detail

@@ -1,0 +1,45 @@
+#pragma once
+// Internal plumbing shared by the oracle-guided attacks (sat_attack,
+// double_dip, appsat). Not part of the stable public API.
+
+#include <optional>
+#include <vector>
+
+#include "camo/key.hpp"
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+#include "sat/tseitin.hpp"
+
+namespace gshe::attack::detail {
+
+/// Recorded oracle I/O observations.
+struct History {
+    std::vector<std::vector<bool>> inputs;
+    std::vector<std::vector<bool>> outputs;
+
+    std::size_t size() const { return inputs.size(); }
+    void add(std::vector<bool> x, std::vector<bool> y) {
+        inputs.push_back(std::move(x));
+        outputs.push_back(std::move(y));
+    }
+};
+
+/// Reads the model values of `vars` from a SAT solver.
+std::vector<bool> model_values(const sat::Solver& solver,
+                               const std::vector<sat::Var>& vars);
+
+/// Adds a circuit copy with primary inputs fixed to `x`, key variables
+/// shared with `keys`, and outputs constrained to `y` — the agreement
+/// constraint "key must reproduce the oracle response on x".
+void add_agreement(sat::Solver& solver, const netlist::Netlist& nl,
+                   const std::vector<sat::Var>& keys,
+                   const std::vector<bool>& x, const std::vector<bool>& y);
+
+/// Solves for any key consistent with the full history.
+/// Returns the key, std::nullopt on inconsistency; sets *timed_out when the
+/// budget ran out before an answer.
+std::optional<camo::Key> extract_consistent_key(
+    const netlist::Netlist& nl, const History& history, double timeout_seconds,
+    const sat::Solver::Options& opts, bool* timed_out);
+
+}  // namespace gshe::attack::detail

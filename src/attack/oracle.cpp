@@ -1,0 +1,58 @@
+#include "attack/oracle.hpp"
+
+#include <stdexcept>
+
+namespace gshe::attack {
+
+std::vector<bool> Oracle::query_single(const std::vector<bool>& pi) {
+    std::vector<std::uint64_t> words(pi.size());
+    for (std::size_t i = 0; i < pi.size(); ++i)
+        words[i] = pi[i] ? ~std::uint64_t{0} : 0;
+    const auto out_words = query(words);
+    patterns_ -= 63;  // a single-pattern query counts once
+    std::vector<bool> out(out_words.size());
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = (out_words[i] & 1) != 0;
+    return out;
+}
+
+std::vector<std::uint64_t> ExactOracle::query(
+    std::span<const std::uint64_t> pi_words) {
+    patterns_ += 64;
+    return sim_.run(pi_words);
+}
+
+StochasticOracle::StochasticOracle(const netlist::Netlist& camo_nl,
+                                   double accuracy, std::uint64_t seed)
+    : StochasticOracle(camo_nl,
+                       std::vector<double>(camo_nl.camo_cells().size(), accuracy),
+                       seed) {}
+
+StochasticOracle::StochasticOracle(const netlist::Netlist& camo_nl,
+                                   std::vector<double> per_device_accuracy,
+                                   std::uint64_t seed)
+    : nl_(&camo_nl), sim_(camo_nl), accuracy_(std::move(per_device_accuracy)),
+      rng_(seed ^ 0x570c4a57ULL) {
+    if (accuracy_.size() != camo_nl.camo_cells().size())
+        throw std::invalid_argument(
+            "StochasticOracle: one accuracy per camouflaged device required");
+    for (double a : accuracy_)
+        if (!(a > 0.0 && a <= 1.0))
+            throw std::invalid_argument("StochasticOracle: accuracy in (0, 1]");
+}
+
+std::vector<std::uint64_t> StochasticOracle::query(
+    std::span<const std::uint64_t> pi_words) {
+    patterns_ += 64;
+    std::vector<std::uint64_t> masks(accuracy_.size(), 0);
+    for (std::size_t d = 0; d < masks.size(); ++d) {
+        const double err = 1.0 - accuracy_[d];
+        if (err <= 0.0) continue;
+        std::uint64_t m = 0;
+        for (int b = 0; b < 64; ++b)
+            if (rng_.bernoulli(err)) m |= std::uint64_t{1} << b;
+        masks[d] = m;
+    }
+    return sim_.run_noisy(pi_words, masks);
+}
+
+}  // namespace gshe::attack

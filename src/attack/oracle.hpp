@@ -1,0 +1,74 @@
+#pragma once
+// The attacker's black-box oracle: "a working chip [used] as an oracle for
+// analytical attacks" (Sec. IV).
+//
+// ExactOracle is the classical deterministic chip. StochasticOracle is a
+// chip whose camouflaged gates are GSHE devices operated in the tunable
+// stochastic regime of Sec. V-B: each device evaluation is independently
+// wrong with probability (1 - accuracy), so a fraction of the oracle's
+// responses is incorrect — which is precisely what breaks the consistency
+// assumption of oracle-guided SAT attacks.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/simulator.hpp"
+
+namespace gshe::attack {
+
+class Oracle {
+public:
+    virtual ~Oracle() = default;
+
+    /// Evaluates 64 packed input patterns; returns one word per output.
+    virtual std::vector<std::uint64_t> query(
+        std::span<const std::uint64_t> pi_words) = 0;
+
+    /// Single-pattern convenience.
+    std::vector<bool> query_single(const std::vector<bool>& pi);
+
+    /// Number of input patterns queried so far (64 per packed call).
+    std::uint64_t patterns_queried() const { return patterns_; }
+
+protected:
+    std::uint64_t patterns_ = 0;
+};
+
+/// Deterministic oracle over the original (or camouflaged-with-true-
+/// functions) netlist.
+class ExactOracle final : public Oracle {
+public:
+    explicit ExactOracle(const netlist::Netlist& nl) : sim_(nl) {}
+    std::vector<std::uint64_t> query(std::span<const std::uint64_t> pi_words) override;
+
+private:
+    netlist::Simulator sim_;
+};
+
+/// Oracle whose camouflaged devices evaluate stochastically. Accuracy is
+/// per-device ("the error rate for any switch can be tuned individually");
+/// the common constructor applies one accuracy to all devices.
+class StochasticOracle final : public Oracle {
+public:
+    StochasticOracle(const netlist::Netlist& camo_nl, double accuracy,
+                     std::uint64_t seed);
+    StochasticOracle(const netlist::Netlist& camo_nl,
+                     std::vector<double> per_device_accuracy,
+                     std::uint64_t seed);
+
+    std::vector<std::uint64_t> query(std::span<const std::uint64_t> pi_words) override;
+
+    const std::vector<double>& accuracies() const { return accuracy_; }
+
+private:
+    const netlist::Netlist* nl_;
+    netlist::Simulator sim_;
+    std::vector<double> accuracy_;
+    Rng rng_;
+};
+
+}  // namespace gshe::attack

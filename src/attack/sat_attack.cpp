@@ -1,0 +1,127 @@
+#include "attack/sat_attack.hpp"
+
+#include "attack/miter_detail.hpp"
+#include "common/timer.hpp"
+#include "netlist/simulator.hpp"
+
+namespace gshe::attack {
+
+using detail::History;
+
+std::string AttackResult::status_name(AttackResult::Status s) {
+    switch (s) {
+        case AttackResult::Status::Success: return "success";
+        case AttackResult::Status::TimedOut: return "t-o";
+        case AttackResult::Status::Inconsistent: return "inconsistent";
+        case AttackResult::Status::IterationCap: return "iteration-cap";
+    }
+    return "?";
+}
+
+double key_error_rate(const netlist::Netlist& camo_nl, const camo::Key& key,
+                      std::size_t patterns, std::uint64_t seed) {
+    const auto fns = camo::functions_for_key(camo_nl, key);
+    if (!fns) return 1.0;
+    netlist::Simulator sim(camo_nl);
+    Rng rng(seed ^ 0x7e57ULL);
+
+    const std::size_t words = (patterns + 63) / 64;
+    std::uint64_t mismatched = 0, total = 0;
+    std::vector<std::uint64_t> pi(camo_nl.inputs().size());
+    for (std::size_t w = 0; w < words; ++w) {
+        for (auto& word : pi) word = rng();
+        const auto truth = sim.run(pi);
+        const auto guess = sim.run_with_functions(pi, *fns);
+        std::uint64_t diff = 0;
+        for (std::size_t o = 0; o < truth.size(); ++o) diff |= truth[o] ^ guess[o];
+        mismatched += static_cast<std::uint64_t>(__builtin_popcountll(diff));
+        total += 64;
+    }
+    return total == 0 ? 0.0 : static_cast<double>(mismatched) / static_cast<double>(total);
+}
+
+namespace {
+
+void finalize(AttackResult& res, const netlist::Netlist& nl,
+              const AttackOptions& options) {
+    if (res.status == AttackResult::Status::Success) {
+        res.key_error_rate =
+            key_error_rate(nl, res.key, options.verify_patterns, options.verify_seed);
+        res.key_exact = res.key_error_rate == 0.0;
+    }
+}
+
+}  // namespace
+
+AttackResult sat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
+                        const AttackOptions& options) {
+    Timer timer;
+    AttackResult res;
+
+    // Trivial case: nothing is camouflaged.
+    if (camo_nl.camo_cells().empty()) {
+        res.status = AttackResult::Status::Success;
+        res.seconds = timer.seconds();
+        res.key_error_rate = 0.0;
+        res.key_exact = true;
+        return res;
+    }
+
+    sat::Solver solver(options.solver);
+    const auto enc1 = sat::encode_circuit(solver, camo_nl);
+    const auto enc2 = sat::encode_circuit(solver, camo_nl, enc1.pis);
+    sat::add_difference(solver, enc1.outs, enc2.outs);
+
+    History history;
+    while (true) {
+        if (res.iterations >= options.max_iterations) {
+            res.status = AttackResult::Status::IterationCap;
+            break;
+        }
+        const double remaining = options.timeout_seconds - timer.seconds();
+        if (remaining <= 0.0) {
+            res.status = AttackResult::Status::TimedOut;
+            break;
+        }
+        sat::Solver::Budget budget;
+        budget.max_seconds = remaining;
+        solver.set_budget(budget);
+
+        const auto r = solver.solve();
+        if (r == sat::Solver::Result::Unknown) {
+            res.status = AttackResult::Status::TimedOut;
+            break;
+        }
+        if (r == sat::Solver::Result::Unsat) {
+            // No distinguishing input remains: extract any consistent key.
+            bool timed_out = false;
+            const auto key = detail::extract_consistent_key(
+                camo_nl, history, options.timeout_seconds - timer.seconds(),
+                options.solver, &timed_out);
+            if (key) {
+                res.status = AttackResult::Status::Success;
+                res.key = *key;
+            } else {
+                res.status = timed_out ? AttackResult::Status::TimedOut
+                                       : AttackResult::Status::Inconsistent;
+            }
+            break;
+        }
+
+        // A DIP was found: query the oracle and pin both key copies to it.
+        ++res.iterations;
+        std::vector<bool> dip = detail::model_values(solver, enc1.pis);
+        std::vector<bool> response = oracle.query_single(dip);
+        detail::add_agreement(solver, camo_nl, enc1.keys, dip, response);
+        detail::add_agreement(solver, camo_nl, enc2.keys, dip, response);
+        history.add(std::move(dip), std::move(response));
+    }
+
+    res.seconds = timer.seconds();
+    res.oracle_patterns = oracle.patterns_queried();
+    res.solver_stats = solver.stats();
+    finalize(res, camo_nl, options);
+    return res;
+}
+
+}  // namespace gshe::attack

@@ -1,0 +1,30 @@
+#pragma once
+// The oracle-guided SAT attack of Subramanyan et al. (HOST 2015) [8],[37] —
+// the reference attack of the paper's Table IV study.
+//
+// Loop: maintain a miter with two key-differentiated copies of the
+// camouflaged circuit sharing their primary inputs. While satisfiable, the
+// model yields a *discriminating input pattern* (DIP) — an input on which
+// two keys consistent with everything seen so far still disagree. Query the
+// oracle on the DIP and constrain both key copies to reproduce the observed
+// response. On UNSAT, every key consistent with the recorded I/O pairs is
+// functionally correct; extract one with a final consistency solve.
+
+#include "attack/attack_result.hpp"
+#include "attack/oracle.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gshe::attack {
+
+/// Runs the attack on a combinational camouflaged netlist.
+/// Key verification compares the recovered key's functionality against the
+/// true functions stored in `camo_nl` (defender ground truth).
+AttackResult sat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
+                        const AttackOptions& options = {});
+
+/// Shared helper: measures the disagreement rate between the circuit under
+/// `key` and its true functionality over `patterns` random input patterns.
+double key_error_rate(const netlist::Netlist& camo_nl, const camo::Key& key,
+                      std::size_t patterns, std::uint64_t seed);
+
+}  // namespace gshe::attack

@@ -1,0 +1,60 @@
+#pragma once
+// Runtime polymorphism at the chip level (Sec. V-C).
+//
+// "Given truly polymorphic gates and some circuitry to judiciously switch
+// the functionalities of gates, we can implement runtime polymorphism at
+// the chip-level. [...] runtime polymorphism can also enable dynamic
+// protection, e.g., as recently proposed by Koteshwara et al. [40]. Their
+// idea is to alter the key dynamically, thereby rendering runtime-intensive
+// attacks incapable (SAT attacks in particular)."
+//
+// This module makes that executable: a schedule that re-assigns the
+// functions of the camouflaged cells every `interval` oracle queries. The
+// authorized mode (epoch 0 and every return to it) computes the true
+// functionality; in scrambled epochs a seeded random subset of cells is
+// re-pointed at random candidates. An attacker cannot tell epochs apart,
+// so accumulated I/O constraints straddle inconsistent functions — the
+// same collapse as the stochastic mode, achieved deterministically.
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/oracle.hpp"
+#include "common/rng.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/simulator.hpp"
+
+namespace gshe::camo {
+
+/// Oracle whose camouflaged cells are periodically re-keyed.
+class RekeyingOracle final : public attack::Oracle {
+public:
+    /// @param camo_nl        protected netlist (true functions = mode 0)
+    /// @param interval       queries per epoch (0 disables re-keying)
+    /// @param scramble_frac  fraction of cells re-pointed in scrambled epochs
+    /// @param duty_true      fraction of epochs that run the true mode
+    RekeyingOracle(const netlist::Netlist& camo_nl, std::uint64_t interval,
+                   double scramble_frac, double duty_true, std::uint64_t seed);
+
+    std::vector<std::uint64_t> query(
+        std::span<const std::uint64_t> pi_words) override;
+
+    std::uint64_t epochs_elapsed() const { return epoch_; }
+
+private:
+    void maybe_advance_epoch();
+
+    const netlist::Netlist* nl_;
+    netlist::Simulator sim_;
+    std::uint64_t interval_;
+    double scramble_frac_;
+    double duty_true_;
+    Rng rng_;
+
+    std::uint64_t epoch_ = 0;
+    std::uint64_t queries_in_epoch_ = 0;
+    bool true_mode_ = true;
+    std::vector<core::Bool2> current_fns_;  // one per camo cell
+};
+
+}  // namespace gshe::camo

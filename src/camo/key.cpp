@@ -1,0 +1,55 @@
+#include "camo/key.hpp"
+
+#include <stdexcept>
+
+namespace gshe::camo {
+
+std::string Key::to_string() const {
+    std::string s;
+    s.reserve(bits.size());
+    for (bool b : bits) s += b ? '1' : '0';
+    return s;
+}
+
+Key true_key(const netlist::Netlist& nl) {
+    Key k;
+    for (const netlist::CamoCell& cell : nl.camo_cells()) {
+        const int idx = cell.true_index(nl.gate(cell.gate));
+        if (idx < 0)
+            throw std::logic_error("true_key: camo cell lost its true function");
+        for (int j = 0; j < cell.key_bits(); ++j)
+            k.bits.push_back(((idx >> j) & 1) != 0);
+    }
+    return k;
+}
+
+std::optional<std::vector<core::Bool2>> functions_for_key(
+    const netlist::Netlist& nl, const Key& key) {
+    std::vector<core::Bool2> fns;
+    std::size_t pos = 0;
+    for (const netlist::CamoCell& cell : nl.camo_cells()) {
+        const int bits = cell.key_bits();
+        if (pos + static_cast<std::size_t>(bits) > key.bits.size())
+            throw std::invalid_argument("functions_for_key: key too short");
+        std::size_t code = 0;
+        for (int j = 0; j < bits; ++j)
+            if (key.bits[pos + static_cast<std::size_t>(j)]) code |= 1u << j;
+        pos += static_cast<std::size_t>(bits);
+        if (code >= cell.candidates.size()) return std::nullopt;
+        fns.push_back(cell.candidates[code]);
+    }
+    if (pos != key.bits.size())
+        throw std::invalid_argument("functions_for_key: key too long");
+    return fns;
+}
+
+bool key_functionally_correct(const netlist::Netlist& nl, const Key& key) {
+    const auto fns = functions_for_key(nl, key);
+    if (!fns) return false;
+    const auto& cells = nl.camo_cells();
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        if ((*fns)[i] != nl.gate(cells[i].gate).fn) return false;
+    return true;
+}
+
+}  // namespace gshe::camo

@@ -1,0 +1,34 @@
+#pragma once
+// Camouflaging <-> logic-locking transformation (Yasin & Sinanoglu [36]).
+//
+// "The notions of locking and camouflaging are interchangeable in this work
+// due to the polymorphic nature of the proposed primitive." This module
+// makes that executable: a camouflaged netlist is rewritten into a locked
+// netlist with explicit key inputs, where each camouflaged cell becomes a
+// key-indexed selector over its candidate functions. For the 16-function
+// GSHE cell the selector degenerates to a 4-bit lookup table whose key bits
+// *are* the cell's truth table.
+
+#include <cstdint>
+
+#include "camo/key.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gshe::camo {
+
+struct LockedCircuit {
+    netlist::Netlist netlist;  ///< plain netlist with added key inputs
+    Key correct_key;           ///< unlocks the original functionality
+    std::vector<netlist::GateId> key_inputs;  ///< in key-bit order
+};
+
+/// Materializes every camouflaged cell of `nl` into key-selected logic.
+/// Key-input naming follows the common "keyinput<N>" convention.
+LockedCircuit to_locked(const netlist::Netlist& nl);
+
+/// Classic EPIC-style XOR/XNOR locking (extension, used for comparison and
+/// interop tests): inserts `key_bits` XOR-or-XNOR key gates on random wires.
+LockedCircuit lock_epic_xor(const netlist::Netlist& nl, int key_bits,
+                            std::uint64_t seed);
+
+}  // namespace gshe::camo

@@ -1,0 +1,131 @@
+#include "camo/protect.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace gshe::camo {
+
+using core::Bool2;
+using netlist::CellType;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::kNoGate;
+using netlist::Netlist;
+
+namespace {
+
+bool eligible(const Gate& g) {
+    return g.type == CellType::Logic && !g.is_camouflaged() &&
+           g.fanin_count() == 2 &&
+           (g.fn == Bool2::NAND() || g.fn == Bool2::NOR());
+}
+
+/// Copies `nl` without camouflage marks; fills old->new id map.
+Netlist copy_plain(const Netlist& nl, std::vector<GateId>& remap) {
+    Netlist out(nl.name());
+    remap.assign(nl.size(), kNoGate);
+    for (GateId id : nl.inputs()) remap[id] = out.add_input(nl.gate(id).name);
+    // DFF placeholders first (their D fanins are patched after the copy so
+    // that feedback through logic is representable). The placeholder D pin
+    // needs some existing gate; an autonomous circuit gets a constant.
+    if (!nl.dffs().empty() && out.size() == 0) out.add_const(false);
+    for (GateId id : nl.dffs()) remap[id] = out.add_dff(0, nl.gate(id).name);
+    for (GateId id : nl.topological_order()) {
+        const Gate& g = nl.gate(id);
+        switch (g.type) {
+            case CellType::Input:
+            case CellType::Dff:
+                break;
+            case CellType::Const0:
+                remap[id] = out.add_const(false);
+                break;
+            case CellType::Const1:
+                remap[id] = out.add_const(true);
+                break;
+            case CellType::Logic:
+                if (g.fanin_count() == 1)
+                    remap[id] = out.add_unary(g.fn, remap[g.a], g.name);
+                else
+                    remap[id] = out.add_gate(g.fn, remap[g.a], remap[g.b], g.name);
+                break;
+        }
+    }
+    for (GateId id : nl.dffs()) out.gate(remap[id]).a = remap[nl.gate(id).a];
+    for (const netlist::PortRef& po : nl.outputs())
+        out.add_output(remap[po.gate], po.name);
+    return out;
+}
+
+}  // namespace
+
+std::size_t eligible_gate_count(const Netlist& nl) {
+    std::size_t n = 0;
+    for (GateId id = 0; id < nl.size(); ++id)
+        if (eligible(nl.gate(id))) ++n;
+    return n;
+}
+
+std::vector<GateId> select_gates(const Netlist& nl, double fraction,
+                                 std::uint64_t seed) {
+    if (fraction < 0.0 || fraction > 1.0)
+        throw std::invalid_argument("select_gates: fraction must be in [0, 1]");
+    std::vector<GateId> pool;
+    for (GateId id = 0; id < nl.size(); ++id)
+        if (eligible(nl.gate(id))) pool.push_back(id);
+
+    const auto want = static_cast<std::size_t>(
+        fraction * static_cast<double>(nl.logic_gate_count()) + 0.5);
+    const std::size_t take = std::min(want, pool.size());
+
+    // Partial Fisher-Yates with a deterministic stream.
+    Rng rng(seed ^ 0x5e1ec7ULL);
+    for (std::size_t i = 0; i < take; ++i) {
+        const std::size_t j = i + rng.below(pool.size() - i);
+        std::swap(pool[i], pool[j]);
+    }
+    pool.resize(take);
+    std::sort(pool.begin(), pool.end());
+    return pool;
+}
+
+Protection apply_camouflage(const Netlist& nl,
+                            const std::vector<GateId>& selection,
+                            const CellLibrary& lib, std::uint64_t seed) {
+    std::vector<GateId> remap;
+    Netlist out = copy_plain(nl, remap);
+    Rng rng(seed ^ 0xca302cafeULL);
+
+    if (lib.style == InsertionStyle::FunctionSet) {
+        for (GateId old_id : selection) {
+            const GateId id = remap.at(old_id);
+            const Gate& g = out.gate(id);
+            if (!lib.contains(g.fn))
+                throw std::invalid_argument(
+                    "apply_camouflage: selected gate's function not in library " +
+                    lib.name);
+            out.camouflage(id, lib.functions, lib.name);
+        }
+    } else {
+        // WireInsertion (INV/BUF primitives): re-route the gate's fanout
+        // through a camouflaged inverter-or-buffer. Complementing the gate
+        // and using a true inverter (p = 1/2) keeps the composite function
+        // identical while randomizing the true key bit.
+        for (GateId old_id : selection) {
+            const GateId id = remap.at(old_id);
+            const bool complement = rng.bernoulli(0.5);
+            if (complement) out.gate(id).fn = out.gate(id).fn.complement();
+            const GateId cell = out.add_unary(
+                complement ? Bool2::NOT_A() : Bool2::A(), id);
+            out.redirect_fanouts(id, cell, /*skip=*/cell);
+            out.camouflage(cell, lib.functions, lib.name);
+        }
+    }
+
+    Protection p{std::move(out), {}};
+    p.true_key = true_key(p.netlist);
+    return p;
+}
+
+}  // namespace gshe::camo

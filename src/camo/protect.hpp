@@ -1,0 +1,44 @@
+#pragma once
+// The camouflaging pass of the Sec. V-A study.
+//
+// Per the paper's methodology: "gates are randomly selected once for each
+// benchmark, memorized, and then reapplied across all techniques" — so gate
+// selection and camouflage application are separate steps here, and the
+// selection is a pure function of (netlist, fraction, seed).
+
+#include <cstdint>
+#include <vector>
+
+#include "camo/cell_library.hpp"
+#include "camo/key.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gshe::camo {
+
+/// Selects the gates to protect: a uniform random sample (without
+/// replacement) of the NAND/NOR gates, sized round(fraction * #logic gates)
+/// but capped at the eligible pool (NAND/NOR is the intersection of all
+/// Table IV libraries' function sets, which is what makes reapplying the
+/// identical selection across techniques possible).
+std::vector<netlist::GateId> select_gates(const netlist::Netlist& nl,
+                                          double fraction, std::uint64_t seed);
+
+/// Eligible-pool size (NAND/NOR gates).
+std::size_t eligible_gate_count(const netlist::Netlist& nl);
+
+/// Result of applying one library to one selection.
+struct Protection {
+    netlist::Netlist netlist;  ///< camouflaged copy (true functions retained)
+    Key true_key;              ///< the defender's key
+};
+
+/// Applies `lib` to the memorized selection on a copy of `nl`.
+/// * FunctionSet: each selected gate becomes a camouflaged cell.
+/// * WireInsertion: after each selected gate, a camouflaged INV-or-BUF is
+///   inserted; with probability 1/2 (from `seed`) the gate's function is
+///   complemented and the true cell is the inverter.
+Protection apply_camouflage(const netlist::Netlist& nl,
+                            const std::vector<netlist::GateId>& selection,
+                            const CellLibrary& lib, std::uint64_t seed);
+
+}  // namespace gshe::camo

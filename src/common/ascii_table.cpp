@@ -1,0 +1,67 @@
+#include "common/ascii_table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gshe {
+
+void AsciiTable::header(std::vector<std::string> cells) {
+    header_ = std::move(cells);
+}
+
+void AsciiTable::row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::num(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    return buf;
+}
+
+std::string AsciiTable::runtime(double seconds, bool timed_out) {
+    if (timed_out) return "t-o";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", seconds);
+    return buf;
+}
+
+std::string AsciiTable::render() const {
+    // Column widths across header and all rows.
+    std::size_t ncols = header_.size();
+    for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+    std::vector<std::size_t> width(ncols, 0);
+    auto grow = [&](const std::vector<std::string>& r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    grow(header_);
+    for (const auto& r : rows_) grow(r);
+
+    auto emit_row = [&](const std::vector<std::string>& r, std::string& out) {
+        for (std::size_t i = 0; i < ncols; ++i) {
+            const std::string cell = i < r.size() ? r[i] : std::string{};
+            out += "| ";
+            out += cell;
+            out.append(width[i] - cell.size() + 1, ' ');
+        }
+        out += "|\n";
+    };
+
+    std::string rule = "+";
+    for (std::size_t i = 0; i < ncols; ++i) rule += std::string(width[i] + 2, '-') + "+";
+    rule += '\n';
+
+    std::string out;
+    if (!title_.empty()) out += title_ + '\n';
+    out += rule;
+    if (!header_.empty()) {
+        emit_row(header_, out);
+        out += rule;
+    }
+    for (const auto& r : rows_) emit_row(r, out);
+    out += rule;
+    return out;
+}
+
+}  // namespace gshe

@@ -1,0 +1,37 @@
+#pragma once
+// Plain-text table rendering for the paper-reproduction benchmarks. Every
+// bench binary prints its table/figure in the same row/column layout as the
+// paper, and this class keeps the formatting logic in one place.
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace gshe {
+
+/// Column-aligned ASCII table with an optional title and header row.
+class AsciiTable {
+public:
+    explicit AsciiTable(std::string title = {}) : title_(std::move(title)) {}
+
+    /// Sets the header row; column count of the table is taken from it.
+    void header(std::vector<std::string> cells);
+    /// Appends a data row; short rows are padded with empty cells.
+    void row(std::vector<std::string> cells);
+
+    /// Convenience: formats a double with the given precision.
+    static std::string num(double v, int precision = 4);
+    /// Formats a runtime in seconds the way Table IV does: "t-o" for
+    /// timeouts, otherwise seconds with millisecond resolution.
+    static std::string runtime(double seconds, bool timed_out);
+
+    std::string render() const;
+
+private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gshe

@@ -1,0 +1,30 @@
+#pragma once
+// Environment-variable helpers used by benchmark binaries to scale workloads
+// (e.g. GSHE_FIG4_RUNS=100000 reproduces the paper's full 100k-run Fig. 4).
+// Library code itself never reads the environment.
+
+#include <cstdlib>
+#include <string>
+
+namespace gshe {
+
+/// Returns the integer value of environment variable `name`, or `fallback`
+/// if unset or unparsable.
+inline long env_long(const char* name, long fallback) {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') return fallback;
+    char* end = nullptr;
+    const long v = std::strtol(raw, &end, 10);
+    return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+/// Returns the double value of environment variable `name`, or `fallback`.
+inline double env_double(const char* name, double fallback) {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(raw, &end);
+    return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+}  // namespace gshe

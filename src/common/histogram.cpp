@@ -1,0 +1,27 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gshe {
+
+std::string Histogram::ascii(std::size_t max_width) const {
+    std::uint64_t peak = 1;
+    for (std::size_t i = 0; i < bins(); ++i) peak = std::max(peak, count(i));
+
+    std::string out;
+    char line[160];
+    for (std::size_t i = 0; i < bins(); ++i) {
+        const auto bar_len = static_cast<std::size_t>(
+            static_cast<double>(count(i)) / static_cast<double>(peak) *
+            static_cast<double>(max_width));
+        std::snprintf(line, sizeof line, "%10.4g | %8llu ", bin_center(i),
+                      static_cast<unsigned long long>(count(i)));
+        out += line;
+        out.append(bar_len, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace gshe

@@ -1,0 +1,67 @@
+#pragma once
+// Fixed-bin histogram used for the paper's distribution figures (Fig. 4 delay
+// distributions, Fig. 6 path-delay profiles).
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gshe {
+
+/// Histogram over [lo, hi) with uniformly sized bins. Out-of-range samples
+/// are counted in underflow/overflow so that totals always reconcile.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins)
+        : lo_(lo), hi_(hi), counts_(bins, 0) {
+        if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+        if (bins == 0) throw std::invalid_argument("Histogram: need at least 1 bin");
+    }
+
+    void add(double x, std::uint64_t weight = 1) {
+        if (x < lo_) {
+            underflow_ += weight;
+        } else if (x >= hi_) {
+            overflow_ += weight;
+        } else {
+            const auto idx = static_cast<std::size_t>(
+                (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+            counts_[std::min(idx, counts_.size() - 1)] += weight;
+        }
+        total_ += weight;
+    }
+
+    std::size_t bins() const { return counts_.size(); }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    double bin_width() const { return (hi_ - lo_) / static_cast<double>(bins()); }
+    double bin_center(std::size_t i) const {
+        return lo_ + (static_cast<double>(i) + 0.5) * bin_width();
+    }
+    std::uint64_t count(std::size_t i) const { return counts_.at(i); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /// Fraction of all samples that landed in bin i (the y-axis of Fig. 4).
+    double fraction(std::size_t i) const {
+        return total_ == 0 ? 0.0
+                           : static_cast<double>(count(i)) / static_cast<double>(total_);
+    }
+
+    /// Renders a plain-text bar chart, one row per bin: "center | count bar".
+    /// `max_width` is the width of the largest bar in characters.
+    std::string ascii(std::size_t max_width = 50) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace gshe

@@ -1,0 +1,59 @@
+#pragma once
+// Streaming descriptive statistics (Welford) and small helpers shared by the
+// characterization and benchmark code.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace gshe {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm), numerically
+/// stable for the long Monte-Carlo runs used in device characterization.
+class RunningStats {
+public:
+    void add(double x) {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::size_t count() const { return n_; }
+    double mean() const { return mean_; }
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    double variance() const {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of the data using linear
+/// interpolation between order statistics. Copies and sorts its input;
+/// intended for end-of-run reporting, not hot paths.
+inline double quantile(std::vector<double> data, double q) {
+    if (data.empty()) throw std::invalid_argument("quantile: empty data");
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q out of range");
+    std::sort(data.begin(), data.end());
+    const double pos = q * static_cast<double>(data.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, data.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return data[lo] + frac * (data[hi] - data[lo]);
+}
+
+}  // namespace gshe

@@ -1,0 +1,25 @@
+#pragma once
+// Monotonic wall-clock timer used for attack runtime measurement and for the
+// in-solver timeout budget (Table IV's "t-o" semantics).
+
+#include <chrono>
+
+namespace gshe {
+
+class Timer {
+public:
+    Timer() : start_(clock::now()) {}
+
+    /// Seconds elapsed since construction or the last reset().
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    void reset() { start_ = clock::now(); }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace gshe

@@ -1,0 +1,82 @@
+#pragma once
+// Minimal 3-D vector algebra used by the macrospin solvers.
+//
+// All operations are constexpr-friendly and allocation-free; a Vec3 is the
+// unit-sphere magnetization direction m, an effective field H (A/m), or a
+// torque, depending on context.
+
+#include <cmath>
+#include <ostream>
+
+namespace gshe {
+
+/// A 3-component double-precision vector.
+struct Vec3 {
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3& operator+=(const Vec3& o) {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+    constexpr Vec3& operator-=(const Vec3& o) {
+        x -= o.x;
+        y -= o.y;
+        z -= o.z;
+        return *this;
+    }
+    constexpr Vec3& operator*=(double s) {
+        x *= s;
+        y *= s;
+        z *= s;
+        return *this;
+    }
+    constexpr Vec3& operator/=(double s) { return *this *= (1.0 / s); }
+
+    friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+    friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+    friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+    friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+    friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+    friend constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+
+    friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+        return a.x == b.x && a.y == b.y && a.z == b.z;
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+        return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+    }
+};
+
+/// Dot product a·b.
+constexpr double dot(const Vec3& a, const Vec3& b) {
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/// Cross product a×b.
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+/// Squared Euclidean norm |a|^2.
+constexpr double norm2(const Vec3& a) { return dot(a, a); }
+
+/// Euclidean norm |a|.
+inline double norm(const Vec3& a) { return std::sqrt(norm2(a)); }
+
+/// a scaled to unit length. Precondition: |a| > 0.
+inline Vec3 normalized(const Vec3& a) { return a / norm(a); }
+
+/// Component-wise multiplication (used for diagonal demag tensors).
+constexpr Vec3 hadamard(const Vec3& a, const Vec3& b) {
+    return {a.x * b.x, a.y * b.y, a.z * b.z};
+}
+
+}  // namespace gshe

@@ -1,0 +1,38 @@
+#include "core/boolean_function.hpp"
+
+namespace gshe::core {
+namespace {
+
+constexpr std::array<std::string_view, 16> kNames = {
+    "FALSE",        // 0x0
+    "NOR",          // 0x1
+    "NOT_A_AND_B",  // 0x2
+    "NOT_A",        // 0x3
+    "A_AND_NOT_B",  // 0x4
+    "NOT_B",        // 0x5
+    "XOR",          // 0x6
+    "NAND",         // 0x7
+    "AND",          // 0x8
+    "XNOR",         // 0x9
+    "B",            // 0xA
+    "NOT_A_OR_B",   // 0xB
+    "A",            // 0xC
+    "A_OR_NOT_B",   // 0xD
+    "OR",           // 0xE
+    "TRUE",         // 0xF
+};
+
+}  // namespace
+
+std::string_view Bool2::name() const { return kNames[tt_]; }
+
+Bool2 Bool2::from_name(std::string_view name) {
+    for (std::uint8_t i = 0; i < 16; ++i)
+        if (kNames[i] == name) return Bool2(i);
+    // Common aliases used by netlist cell types.
+    if (name == "INV" || name == "NOT") return NOT_A();
+    if (name == "BUF" || name == "BUFF") return A();
+    throw std::invalid_argument("Bool2::from_name: unknown function name");
+}
+
+}  // namespace gshe::core

@@ -1,0 +1,81 @@
+#pragma once
+// The sixteen Boolean functions of two inputs, represented as 4-bit truth
+// tables. This is the function space the GSHE primitive cloaks (Fig. 5) and
+// the unit prior-art camouflaging libraries are measured against (Table II).
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+namespace gshe::core {
+
+/// A two-input Boolean function encoded as a truth table: bit (a<<1 | b)
+/// holds f(a, b). Value semantics; all 16 values 0x0..0xF are valid.
+class Bool2 {
+public:
+    constexpr Bool2() = default;
+    explicit constexpr Bool2(std::uint8_t truth_table) : tt_(truth_table & 0xF) {}
+
+    constexpr bool eval(bool a, bool b) const {
+        return (tt_ >> ((a ? 2 : 0) | (b ? 1 : 0))) & 1;
+    }
+
+    constexpr std::uint8_t truth_table() const { return tt_; }
+
+    /// The complementary function f'.
+    constexpr Bool2 complement() const { return Bool2(static_cast<std::uint8_t>(~tt_)); }
+    /// f with inputs swapped: g(a,b) = f(b,a).
+    constexpr Bool2 swapped() const {
+        const std::uint8_t bit01 = (tt_ >> 1) & 1, bit10 = (tt_ >> 2) & 1;
+        return Bool2(static_cast<std::uint8_t>((tt_ & 0b1001) | (bit01 << 2) | (bit10 << 1)));
+    }
+
+    /// True if the function ignores input b (f is A, NOT_A, TRUE or FALSE)…
+    constexpr bool independent_of_b() const {
+        return eval(false, false) == eval(false, true) &&
+               eval(true, false) == eval(true, true);
+    }
+    /// …or ignores input a.
+    constexpr bool independent_of_a() const {
+        return eval(false, false) == eval(true, false) &&
+               eval(false, true) == eval(true, true);
+    }
+
+    friend constexpr bool operator==(Bool2, Bool2) = default;
+
+    std::string_view name() const;
+
+    // The canonical sixteen, in truth-table order where helpful.
+    static constexpr Bool2 FALSE_() { return Bool2(0x0); }
+    static constexpr Bool2 NOR() { return Bool2(0x1); }
+    static constexpr Bool2 NOT_A_AND_B() { return Bool2(0x2); }
+    static constexpr Bool2 NOT_A() { return Bool2(0x3); }
+    static constexpr Bool2 A_AND_NOT_B() { return Bool2(0x4); }
+    static constexpr Bool2 NOT_B() { return Bool2(0x5); }
+    static constexpr Bool2 XOR() { return Bool2(0x6); }
+    static constexpr Bool2 NAND() { return Bool2(0x7); }
+    static constexpr Bool2 AND() { return Bool2(0x8); }
+    static constexpr Bool2 XNOR() { return Bool2(0x9); }
+    static constexpr Bool2 B() { return Bool2(0xA); }
+    static constexpr Bool2 NOT_A_OR_B() { return Bool2(0xB); }
+    static constexpr Bool2 A() { return Bool2(0xC); }
+    static constexpr Bool2 A_OR_NOT_B() { return Bool2(0xD); }
+    static constexpr Bool2 OR() { return Bool2(0xE); }
+    static constexpr Bool2 TRUE_() { return Bool2(0xF); }
+
+    /// All 16 functions in truth-table order 0x0..0xF.
+    static constexpr std::array<Bool2, 16> all() {
+        std::array<Bool2, 16> fs{};
+        for (std::uint8_t i = 0; i < 16; ++i) fs[i] = Bool2(i);
+        return fs;
+    }
+
+    /// Parses a canonical name ("NAND", "XOR", ...). Throws on unknown names.
+    static Bool2 from_name(std::string_view name);
+
+private:
+    std::uint8_t tt_ = 0;
+};
+
+}  // namespace gshe::core

@@ -1,0 +1,38 @@
+#include "core/characterization.hpp"
+
+namespace gshe::core {
+
+DelayDistribution characterize_delay(const GsheSwitch& device,
+                                     double spin_current, std::size_t trials,
+                                     std::uint64_t seed, double max_time,
+                                     double dt, double hist_max,
+                                     std::size_t bins) {
+    DelayDistribution dist{spin_current, trials, 0, RunningStats{},
+                           Histogram(0.0, hist_max, bins)};
+    Rng rng(seed);
+    const auto samples =
+        device.delay_samples(spin_current, trials, rng, max_time, dt);
+    for (const auto& d : samples) {
+        if (!d) continue;
+        ++dist.switched;
+        dist.stats.add(*d);
+        dist.histogram.add(*d);
+    }
+    return dist;
+}
+
+DeviceMetrics characterize_device(const GsheSwitch& device,
+                                  double spin_current, std::size_t trials,
+                                  std::uint64_t seed) {
+    DeviceMetrics m;
+    m.power = readout_point(device.params(), spin_current).power;
+    const DelayDistribution d =
+        characterize_delay(device, spin_current, trials, seed);
+    m.delay = d.stats.mean();
+    m.energy = m.power * m.delay;
+    m.area = device.params().area();
+    m.functions = 16;
+    return m;
+}
+
+}  // namespace gshe::core

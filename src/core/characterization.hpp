@@ -1,0 +1,60 @@
+#pragma once
+// Monte-Carlo characterization of the GSHE switch: delay distributions
+// (Fig. 4), and the power/energy/delay/area row the paper reports in
+// Table II. Everything is computed from the device model — no literature
+// constants are baked in for "this work".
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+#include "core/gshe_switch.hpp"
+
+namespace gshe::core {
+
+/// Nominal mean propagation delay the paper adopts for the primitive
+/// (Sec. III-B: 1.55 ns at IS = 20 uA). Used by the hybrid-design STA when a
+/// CMOS gate is replaced by the GSHE primitive.
+inline constexpr double kNominalDelay = 1.55e-9;
+/// Nominal read-out power from Table II [W].
+inline constexpr double kNominalPower = 0.2125e-6;
+/// Nominal energy per operation from Table II [J].
+inline constexpr double kNominalEnergy = 0.33e-15;
+
+/// Result of a switching-delay Monte-Carlo at one spin current.
+struct DelayDistribution {
+    double spin_current = 0.0;
+    std::size_t trials = 0;
+    std::size_t switched = 0;  ///< trials that completed within the cutoff
+    RunningStats stats;        ///< over switched trials, seconds
+    Histogram histogram;       ///< Fig. 4 histogram (seconds)
+};
+
+/// Runs `trials` independent sLLGS transients at `spin_current` and bins the
+/// delays. `hist_max`/`bins` control the histogram axis (paper: 0-6 ns).
+DelayDistribution characterize_delay(const GsheSwitch& device,
+                                     double spin_current, std::size_t trials,
+                                     std::uint64_t seed,
+                                     double max_time = 10e-9,
+                                     double dt = 1e-12,
+                                     double hist_max = 6e-9,
+                                     std::size_t bins = 60);
+
+/// The "This work" row of Table II.
+struct DeviceMetrics {
+    double power = 0.0;   ///< read-out power [W]
+    double delay = 0.0;   ///< mean switching delay [s]
+    double energy = 0.0;  ///< power * delay [J]
+    double area = 0.0;    ///< layout area [m^2]
+    int functions = 16;   ///< cloakable Boolean functions
+};
+
+/// Computes the Table II row. The delay is the Monte-Carlo mean at
+/// `spin_current` (use trials >= 1000 for a stable mean); power comes from
+/// the Fig. 3 equivalent circuit; energy is their product.
+DeviceMetrics characterize_device(const GsheSwitch& device,
+                                  double spin_current, std::size_t trials,
+                                  std::uint64_t seed);
+
+}  // namespace gshe::core

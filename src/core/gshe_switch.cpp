@@ -1,0 +1,95 @@
+#include "core/gshe_switch.hpp"
+
+#include <stdexcept>
+
+namespace gshe::core {
+
+ReadoutPoint readout_point(const GsheSwitchParams& p, double spin_current) {
+    if (spin_current <= 0.0)
+        throw std::invalid_argument("readout_point: spin current must be > 0");
+    const double beta = p.beta();
+    const double r = p.hm_resistance();
+    const double gp = p.gp();
+    const double gap = p.gap();
+
+    ReadoutPoint pt{};
+    pt.out_current = spin_current / beta;
+    pt.v_out = spin_current * r / beta;
+    pt.v_sup = (spin_current / beta) * (1.0 + r * (gp + gap)) / (gp - gap);
+    pt.power = pt.v_out * pt.v_out / r +
+               (pt.v_sup - pt.v_out) * (pt.v_sup - pt.v_out) * gp +
+               (pt.v_out + pt.v_sup) * (pt.v_out + pt.v_sup) * gap;
+    return pt;
+}
+
+GsheSwitch::GsheSwitch(GsheSwitchParams params) : params_(std::move(params)) {}
+
+spin::LlgsSystem GsheSwitch::make_system() const {
+    spin::LlgsSystem sys({params_.write_nm, params_.read_nm});
+    sys.set_temperature(params_.temperature);
+    sys.couple_dipolar_pair(0, 1, params_.stack_separation);
+    // Reset state: W along -x, R anti-parallel along +x (minimum-energy
+    // configuration of the negatively coupled pair, footnote 1).
+    sys.set_m(0, {-1.0, 0.0, 0.0});
+    sys.set_m(1, {+1.0, 0.0, 0.0});
+    return sys;
+}
+
+SwitchingResult GsheSwitch::simulate_switching(double spin_current,
+                                               bool toward_plus, Rng& rng,
+                                               double max_time,
+                                               double dt) const {
+    if (spin_current <= 0.0)
+        throw std::invalid_argument("simulate_switching: spin current must be > 0");
+
+    spin::LlgsSystem sys = make_system();
+    if (!toward_plus) {
+        // Mirror the reset so the pulse always opposes the current state.
+        sys.set_m(0, {+1.0, 0.0, 0.0});
+        sys.set_m(1, {-1.0, 0.0, 0.0});
+    }
+    const double r_start = sys.m(1).x;  // +1 or -1
+
+    // Draw the initial cone angles from the harmonic Boltzmann equilibrium —
+    // the "initial angle lottery" that produces the Fig. 4 delay spread —
+    // then let the noise decorrelate the pair for a short pre-roll.
+    sys.sample_thermal_equilibrium(rng);
+    const auto therm_steps =
+        static_cast<std::size_t>(thermalization_time_ / dt);
+    for (std::size_t s = 0; s < therm_steps; ++s) sys.step_heun(dt, rng);
+
+    // Apply the write pulse: spins polarized along the target direction.
+    spin::SpinTorque torque;
+    torque.polarization = {toward_plus ? 1.0 : -1.0, 0.0, 0.0};
+    torque.spin_current = spin_current;
+    torque.field_like_ratio = params_.field_like_ratio;
+    sys.set_torque(0, torque);
+
+    const auto steps = static_cast<std::size_t>(max_time / dt);
+    const double threshold = -0.5 * r_start;  // R reverses toward -r_start
+    for (std::size_t s = 1; s <= steps; ++s) {
+        sys.step_heun(dt, rng);
+        const double proj = sys.m(1).x;
+        const bool crossed = r_start > 0.0 ? proj < threshold : proj > threshold;
+        if (crossed)
+            return {true, static_cast<double>(s) * dt};
+    }
+    return {false, max_time};
+}
+
+std::vector<std::optional<double>> GsheSwitch::delay_samples(
+    double spin_current, std::size_t trials, Rng& rng, double max_time,
+    double dt) const {
+    std::vector<std::optional<double>> delays;
+    delays.reserve(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+        Rng trial_rng = rng.fork();
+        const SwitchingResult res =
+            simulate_switching(spin_current, true, trial_rng, max_time, dt);
+        delays.push_back(res.switched ? std::optional<double>(res.delay)
+                                      : std::nullopt);
+    }
+    return delays;
+}
+
+}  // namespace gshe::core

@@ -1,0 +1,119 @@
+#pragma once
+// The giant spin-Hall effect (GSHE) switch: device parameters (Table I),
+// read-out equivalent circuit (Fig. 3 inset), and the physical switching
+// simulation (coupled write/read nanomagnets under sLLGS, Fig. 4).
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "spin/llgs.hpp"
+#include "spin/material.hpp"
+
+namespace gshe::core {
+
+/// Complete device description. Defaults reproduce Table I of the paper.
+struct GsheSwitchParams {
+    spin::Nanomagnet write_nm = spin::write_nanomagnet_table1();
+    spin::Nanomagnet read_nm = spin::read_nanomagnet_table1();
+
+    double rap = 1e-12;          ///< resistance-area product [Ohm*m^2] (1 Ohm*um^2)
+    double tmr = 1.7;            ///< tunneling magnetoresistance (170 %)
+    double rho_hm = 5.6e-7;      ///< heavy-metal resistivity [Ohm*m]
+    double theta_sh = 0.4;       ///< spin-Hall angle of the heavy metal
+    double t_hm = 1e-9;          ///< heavy-metal thickness [m]
+    double hm_length = 50e-9;    ///< current path length under the W-NM [m]
+    double hm_width = 28e-9;     ///< heavy-metal width [m]
+
+    /// Center-to-center distance of the stacked W/R nanomagnets. Sets the
+    /// strength of the negative dipolar coupling; calibrated so IS = 20 uA is
+    /// just deterministic and the mean delay lands at ~1.55 ns (Fig. 4).
+    double stack_separation = 12e-9;
+
+    /// Field-like torque fraction of a_J (typical 0.1-0.3 for heavy-metal /
+    /// MTJ stacks); part of the Fig. 4 delay calibration.
+    double field_like_ratio = 0.3;
+
+    double temperature = spin::kRoomTemperature;  ///< [K]
+
+    /// Layout footprint per the lambda-based rules of Fig. 3: 32 x 50 nm.
+    double layout_width = 32e-9;
+    double layout_height = 50e-9;
+
+    /// Deterministic-switching spin-current threshold from Table I [A].
+    double deterministic_spin_current = 20e-6;
+
+    /// Internal charge-to-spin gain beta = theta_SH * (w_NM / t_HM) = 6.
+    /// Note the paper uses the *short* in-plane edge of the nanomagnet (15 nm).
+    double beta() const { return theta_sh * (write_nm.geometry.ly / t_hm); }
+    /// Heavy-metal resistance r = rho*L/(w*t) ~ 1 kOhm.
+    double hm_resistance() const {
+        return rho_hm * hm_length / (hm_width * t_hm);
+    }
+    /// Parallel MTJ conductance GP = A / RAP = 420 uS.
+    double gp() const { return read_nm.geometry.area() / rap; }
+    /// Anti-parallel conductance GAP = GP / (1 + TMR) = 155.6 uS.
+    double gap() const { return gp() / (1.0 + tmr); }
+    /// Cell area [m^2] = 0.0016 um^2.
+    double area() const { return layout_width * layout_height; }
+};
+
+/// Read-out operating point of the Fig. 3 equivalent circuit for a given
+/// spin current IS.
+struct ReadoutPoint {
+    double v_out;        ///< output node voltage [V]
+    double v_sup;        ///< |V+| = |V-| supply magnitude [V]
+    double power;        ///< static read-out power incl. leakage [W]
+    double out_current;  ///< |I_out| = IS / beta, the logic swing current [A]
+};
+
+/// Evaluates the equivalent circuit: VOUT = IS*r/beta,
+/// VSUP = (IS/beta)(1 + r(GP+GAP))/(GP-GAP),
+/// P = VOUT^2/r + (VSUP-VOUT)^2 GP + (VOUT+VSUP)^2 GAP.
+ReadoutPoint readout_point(const GsheSwitchParams& p, double spin_current);
+
+/// Outcome of one transient switching simulation.
+struct SwitchingResult {
+    bool switched = false;  ///< read magnet crossed the reversal threshold
+    double delay = 0.0;     ///< time from pulse start to reversal [s]
+};
+
+/// Transient sLLGS simulation of the coupled W/R nanomagnet pair.
+///
+/// The device state is the read magnet's easy-axis projection. A write pulse
+/// of the given spin current (polarization `toward_plus ? +x : -x`) is
+/// applied after a short thermalization; the delay is the first time the
+/// R-NM projection crosses -0.5 from its initial +1 (or +0.5 from -1).
+class GsheSwitch {
+public:
+    explicit GsheSwitch(GsheSwitchParams params = {});
+
+    const GsheSwitchParams& params() const { return params_; }
+
+    /// Runs a single stochastic switching transient.
+    /// @param spin_current   IS [A] delivered to the write magnet (> 0).
+    /// @param toward_plus    desired final W-NM state (+x if true).
+    /// @param rng            noise stream (one independent stream per trial).
+    /// @param max_time       pulse duration / simulation cutoff [s].
+    /// @param dt             integration step [s].
+    SwitchingResult simulate_switching(double spin_current, bool toward_plus,
+                                       Rng& rng, double max_time = 10e-9,
+                                       double dt = 1e-12) const;
+
+    /// Collects `trials` independent switching delays (the Fig. 4 Monte
+    /// Carlo). Unswitched trials are reported as std::nullopt entries.
+    std::vector<std::optional<double>> delay_samples(double spin_current,
+                                                     std::size_t trials,
+                                                     Rng& rng,
+                                                     double max_time = 10e-9,
+                                                     double dt = 1e-12) const;
+
+    /// Builds the two-magnet LLGS system in the (W = -x, R = +x) reset state.
+    spin::LlgsSystem make_system() const;
+
+private:
+    GsheSwitchParams params_;
+    double thermalization_time_ = 0.05e-9;
+};
+
+}  // namespace gshe::core

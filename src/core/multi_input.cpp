@@ -1,0 +1,65 @@
+#include "core/multi_input.hpp"
+
+namespace gshe::core {
+
+MultiInputPrimitive::MultiInputPrimitive(const ThresholdConfig& config)
+    : config_(config) {
+    if (config.n_inputs < 1)
+        throw std::invalid_argument("MultiInputPrimitive: need >= 1 input");
+    if (!config.tie_free())
+        throw std::invalid_argument(
+            "MultiInputPrimitive: n_inputs + bias must be odd (tie-free)");
+}
+
+MultiInputPrimitive MultiInputPrimitive::at_least(int n, int k) {
+    if (k < 1 || k > n)
+        throw std::invalid_argument("at_least: need 1 <= k <= n");
+    // sum = 2*#ones - n + bias > 0  <=>  #ones >= k  when bias = n - 2k + 1.
+    ThresholdConfig c;
+    c.n_inputs = n;
+    c.bias = n - 2 * k + 1;
+    return MultiInputPrimitive(c);
+}
+
+MultiInputPrimitive MultiInputPrimitive::nand_n(int n) {
+    MultiInputPrimitive p = and_n(n);
+    p.config_.complement_read = true;
+    return p;
+}
+
+MultiInputPrimitive MultiInputPrimitive::nor_n(int n) {
+    MultiInputPrimitive p = or_n(n);
+    p.config_.complement_read = true;
+    return p;
+}
+
+MultiInputPrimitive MultiInputPrimitive::majority(int n) {
+    if (n % 2 == 0)
+        throw std::invalid_argument("majority: n must be odd");
+    return at_least(n, (n + 1) / 2);
+}
+
+int MultiInputPrimitive::threshold() const {
+    // Invert bias = n - 2k + 1.
+    return (config_.n_inputs - config_.bias + 1) / 2;
+}
+
+bool MultiInputPrimitive::eval(const std::vector<bool>& inputs) const {
+    if (inputs.size() != static_cast<std::size_t>(config_.n_inputs))
+        throw std::invalid_argument("MultiInputPrimitive: wrong input count");
+    int sum = config_.bias;
+    for (const bool b : inputs) sum += b ? 1 : -1;
+    // Write magnet settles along sign(sum); read magnet anti-parallel; the
+    // read polarity selects the sense, exactly as in the 2-input cell.
+    const bool state = sum > 0;
+    return config_.complement_read ? !state : state;
+}
+
+void MultiInputPrimitive::set_accuracy(double accuracy) {
+    if (!(accuracy > 0.5 && accuracy <= 1.0))
+        throw std::invalid_argument(
+            "MultiInputPrimitive: accuracy must be in (0.5, 1]");
+    accuracy_ = accuracy;
+}
+
+}  // namespace gshe::core

@@ -1,0 +1,78 @@
+#pragma once
+// Multi-input extension of the GSHE primitive (Sec. III-C: "the primitive
+// can readily implement multi-input gates (i.e., >2 signal inputs) as
+// well").
+//
+// The write mechanism is current summation, so with n signal wires and a
+// set of constant bias wires the device natively computes *threshold*
+// functions: the write magnet settles along sign( sum(+-I) ), i.e.
+//
+//   out = [ #ones(inputs) >= k ]      (optionally complemented at read-out)
+//
+// with k set by the bias. AND-n (k = n), OR-n (k = 1) and MAJ-n
+// (k = ceil(n/2)) are special cases. The total wire count n + |bias| is
+// always odd, so no input combination can tie — the same parity argument
+// as the three-wire two-input cell. Layout uniformity carries over: an
+// n-input threshold cell is indistinguishable across all its k settings,
+// cloaking n different threshold functions (2n with the read polarity).
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gshe::core {
+
+/// Configuration of an n-input threshold cell.
+struct ThresholdConfig {
+    int n_inputs = 3;
+    /// Net constant bias in units of I (positive = toward logic 1). The
+    /// device realizes it with |bias| dedicated +I or -I wires.
+    int bias = 0;
+    /// Swapped read polarity complements the output.
+    bool complement_read = false;
+
+    /// Number of current wires the cell drives (signals + bias dummies).
+    int wire_count() const { return n_inputs + (bias < 0 ? -bias : bias); }
+    /// True when no input combination can produce a zero current sum.
+    bool tie_free() const { return ((n_inputs + bias) % 2) != 0; }
+};
+
+/// An n-input polymorphic threshold gate built on one GSHE switch.
+class MultiInputPrimitive {
+public:
+    explicit MultiInputPrimitive(const ThresholdConfig& config);
+
+    /// Cell computing [ #ones >= k ] of n inputs (1 <= k <= n).
+    static MultiInputPrimitive at_least(int n, int k);
+    /// AND of n inputs (k = n).
+    static MultiInputPrimitive and_n(int n) { return at_least(n, n); }
+    /// OR of n inputs (k = 1).
+    static MultiInputPrimitive or_n(int n) { return at_least(n, 1); }
+    /// NAND / NOR via complemented read-out.
+    static MultiInputPrimitive nand_n(int n);
+    static MultiInputPrimitive nor_n(int n);
+    /// Majority of n inputs (n odd).
+    static MultiInputPrimitive majority(int n);
+
+    const ThresholdConfig& config() const { return config_; }
+    /// The threshold k this configuration realizes (before read polarity).
+    int threshold() const;
+
+    bool eval(const std::vector<bool>& inputs) const;
+    /// Stochastic-regime evaluation (Sec. V-B), as for the 2-input cell.
+    bool eval_stochastic(const std::vector<bool>& inputs, Rng& rng) const {
+        const bool ideal = eval(inputs);
+        return rng.bernoulli(accuracy_) ? ideal : !ideal;
+    }
+
+    void set_accuracy(double accuracy);
+    double accuracy() const { return accuracy_; }
+
+private:
+    ThresholdConfig config_;
+    double accuracy_ = 1.0;
+};
+
+}  // namespace gshe::core

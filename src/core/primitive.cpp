@@ -1,0 +1,158 @@
+#include "core/primitive.hpp"
+
+#include <stdexcept>
+
+namespace gshe::core {
+namespace {
+
+/// Contribution of one wire in units of the nominal write current I.
+int current_of(CurrentSource s, bool a, bool b) {
+    switch (s) {
+        case CurrentSource::A: return a ? +1 : -1;
+        case CurrentSource::NotA: return a ? -1 : +1;
+        case CurrentSource::B: return b ? +1 : -1;
+        case CurrentSource::NotB: return b ? -1 : +1;
+        case CurrentSource::PlusI: return +1;
+        case CurrentSource::MinusI: return -1;
+    }
+    throw std::logic_error("current_of: bad CurrentSource");
+}
+
+const char* source_name(CurrentSource s) {
+    switch (s) {
+        case CurrentSource::A: return "A";
+        case CurrentSource::NotA: return "A'";
+        case CurrentSource::B: return "B";
+        case CurrentSource::NotB: return "B'";
+        case CurrentSource::PlusI: return "+I";
+        case CurrentSource::MinusI: return "-I";
+    }
+    return "?";
+}
+
+const char* read_name(ReadMode r) {
+    switch (r) {
+        case ReadMode::StaticTrue: return "StaticTrue";
+        case ReadMode::StaticComp: return "StaticComp";
+        case ReadMode::SignalB: return "SignalB";
+        case ReadMode::SignalNotB: return "SignalNotB";
+        case ReadMode::SignalA: return "SignalA";
+        case ReadMode::SignalNotA: return "SignalNotA";
+    }
+    return "?";
+}
+
+}  // namespace
+
+std::string PrimitiveConfig::to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if (i) s += ' ';
+        s += source_name(inputs[i]);
+    }
+    s += "] read=";
+    s += read_name(read);
+    return s;
+}
+
+Primitive::Primitive(const PrimitiveConfig& config) : config_(config) {
+    if (!is_valid(config))
+        throw std::invalid_argument(
+            "Primitive: configuration has a tie (zero summed write current)");
+}
+
+void Primitive::set_accuracy(double accuracy) {
+    if (!(accuracy > 0.5 && accuracy <= 1.0))
+        throw std::invalid_argument("Primitive: accuracy must be in (0.5, 1]");
+    accuracy_ = accuracy;
+}
+
+bool Primitive::evaluate(const PrimitiveConfig& config, bool a, bool b) {
+    int sum = 0;
+    for (CurrentSource s : config.inputs) sum += current_of(s, a, b);
+    if (sum == 0)
+        throw std::invalid_argument("Primitive: tie in summed write current");
+
+    // Write magnet settles along sign(sum); read magnet anti-parallel.
+    // state == true means the R-NM is along +x (the low-resistance path to
+    // the V+ fixed ferromagnet), which is reached when the sum is negative.
+    const bool state = sum < 0;
+
+    switch (config.read) {
+        case ReadMode::StaticTrue: return state;
+        case ReadMode::StaticComp: return !state;
+        case ReadMode::SignalB: return state ? b : !b;
+        case ReadMode::SignalNotB: return state ? !b : b;
+        case ReadMode::SignalA: return state ? a : !a;
+        case ReadMode::SignalNotA: return state ? !a : a;
+    }
+    throw std::logic_error("Primitive: bad ReadMode");
+}
+
+bool Primitive::is_valid(const PrimitiveConfig& config) {
+    for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b) {
+            int sum = 0;
+            for (CurrentSource s : config.inputs)
+                sum += current_of(s, a != 0, b != 0);
+            if (sum == 0) return false;
+        }
+    return true;
+}
+
+Bool2 Primitive::function_of(const PrimitiveConfig& config) {
+    std::uint8_t tt = 0;
+    for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b)
+            if (evaluate(config, a != 0, b != 0))
+                tt |= static_cast<std::uint8_t>(1u << ((a << 1) | b));
+    return Bool2(tt);
+}
+
+PrimitiveConfig Primitive::config_for(Bool2 f) {
+    using S = CurrentSource;
+    using R = ReadMode;
+    // Canonical assignments (Fig. 5). Two-input gates use both signals plus
+    // the tie-break X; XOR-class routes B to the read terminals; single-
+    // input and constant gates cancel a +I/-I dummy pair to stay uniform.
+    switch (f.truth_table()) {
+        case 0x7: return {{S::A, S::B, S::MinusI}, R::StaticTrue};   // NAND
+        case 0x8: return {{S::A, S::B, S::MinusI}, R::StaticComp};   // AND
+        case 0x1: return {{S::A, S::B, S::PlusI}, R::StaticTrue};    // NOR
+        case 0xE: return {{S::A, S::B, S::PlusI}, R::StaticComp};    // OR
+        case 0x6: return {{S::A, S::PlusI, S::MinusI}, R::SignalB};  // XOR
+        case 0x9: return {{S::A, S::PlusI, S::MinusI}, R::SignalNotB};  // XNOR
+        case 0xC: return {{S::A, S::PlusI, S::MinusI}, R::StaticComp};  // A
+        case 0x3: return {{S::A, S::PlusI, S::MinusI}, R::StaticTrue};  // NOT_A
+        case 0xA: return {{S::B, S::PlusI, S::MinusI}, R::StaticComp};  // B
+        case 0x5: return {{S::B, S::PlusI, S::MinusI}, R::StaticTrue};  // NOT_B
+        case 0x4: return {{S::NotA, S::B, S::PlusI}, R::StaticTrue};    // A AND B'
+        case 0xB: return {{S::NotA, S::B, S::PlusI}, R::StaticComp};    // A' OR B
+        case 0x2: return {{S::A, S::NotB, S::PlusI}, R::StaticTrue};    // A' AND B
+        case 0xD: return {{S::A, S::NotB, S::PlusI}, R::StaticComp};    // A OR B'
+        case 0xF: return {{S::PlusI, S::PlusI, S::PlusI}, R::StaticComp};  // TRUE
+        case 0x0: return {{S::PlusI, S::PlusI, S::PlusI}, R::StaticTrue};  // FALSE
+    }
+    throw std::logic_error("config_for: unreachable");
+}
+
+std::vector<PrimitiveConfig> Primitive::all_valid_configs() {
+    constexpr std::array<CurrentSource, 6> sources = {
+        CurrentSource::A,     CurrentSource::NotA,  CurrentSource::B,
+        CurrentSource::NotB,  CurrentSource::PlusI, CurrentSource::MinusI};
+    constexpr std::array<ReadMode, 6> reads = {
+        ReadMode::StaticTrue, ReadMode::StaticComp, ReadMode::SignalB,
+        ReadMode::SignalNotB, ReadMode::SignalA,    ReadMode::SignalNotA};
+
+    std::vector<PrimitiveConfig> out;
+    for (CurrentSource i0 : sources)
+        for (CurrentSource i1 : sources)
+            for (CurrentSource i2 : sources)
+                for (ReadMode r : reads) {
+                    PrimitiveConfig c{{i0, i1, i2}, r};
+                    if (is_valid(c)) out.push_back(c);
+                }
+    return out;
+}
+
+}  // namespace gshe::core

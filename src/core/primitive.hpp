@@ -1,0 +1,118 @@
+#pragma once
+// The polymorphic GSHE security primitive (Sec. III-C, Figs. 2 and 5).
+//
+// A single layout-identical device instance realizes any of the 16 two-input
+// Boolean functions. The function is selected purely by *terminal
+// assignment*, never by layout:
+//
+//  * Write phase — three charge-current wires feed the heavy metal. Each
+//    carries +I (logic 1) or -I (logic 0), sourced from input A, input B,
+//    their complements (via magneto-electric transducers, footnote 2), or a
+//    constant tie-breaking current X. The write magnet settles along the
+//    sign of the summed current; the read magnet follows anti-parallel.
+//  * Read phase — the two fixed ferromagnets' terminals (V+/V-) are driven
+//    either statically (output = stored state, with polarity choosing the
+//    complement) or by a logic signal and its complement (realizing
+//    XOR-class functions; swapping the polarities complements the function).
+//
+// Because every configuration uses exactly three current wires and two
+// voltage terminals, all 16 gates are indistinguishable to optical RE —
+// the camouflaging property the security analysis builds on.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/boolean_function.hpp"
+
+namespace gshe::core {
+
+/// What drives one of the three write-phase current wires.
+enum class CurrentSource : std::uint8_t {
+    A,       ///< +I if input A is 1, else -I
+    NotA,    ///< complement of A (via a transducer)
+    B,       ///< +I if input B is 1, else -I
+    NotB,    ///< complement of B
+    PlusI,   ///< constant +I tie-break / dummy
+    MinusI,  ///< constant -I tie-break / dummy
+};
+
+/// How the fixed-ferromagnet terminals are driven during read-out.
+enum class ReadMode : std::uint8_t {
+    StaticTrue,  ///< static V+/V-: output = stored state
+    StaticComp,  ///< static, swapped polarity: output = complement of state
+    SignalB,     ///< V+ = B, V- = B': output = state ? B : B'
+    SignalNotB,  ///< swapped: output = state ? B' : B
+    SignalA,     ///< V+ = A, V- = A' (used when B is the current input)
+    SignalNotA,  ///< swapped
+};
+
+/// A complete terminal assignment. Every config drives all three wires —
+/// dummy constants keep the layout uniform exactly as Sec. III-C requires.
+struct PrimitiveConfig {
+    std::array<CurrentSource, 3> inputs{CurrentSource::PlusI,
+                                        CurrentSource::PlusI,
+                                        CurrentSource::MinusI};
+    ReadMode read = ReadMode::StaticTrue;
+
+    friend bool operator==(const PrimitiveConfig&, const PrimitiveConfig&) = default;
+
+    /// Human-readable form, e.g. "[A B -I] read=StaticTrue".
+    std::string to_string() const;
+};
+
+/// The polymorphic primitive: holds a configuration and evaluates it, either
+/// ideally or with the device's tunable stochastic error (Sec. V-B).
+class Primitive {
+public:
+    /// Constructs with the canonical configuration for `f`.
+    explicit Primitive(Bool2 f) : config_(config_for(f)) {}
+    explicit Primitive(const PrimitiveConfig& config);
+
+    const PrimitiveConfig& config() const { return config_; }
+    /// The Boolean function this configuration realizes.
+    Bool2 function() const { return function_of(config_); }
+
+    /// Ideal (deterministic-regime) evaluation.
+    bool eval(bool a, bool b) const { return evaluate(config_, a, b); }
+
+    /// Stochastic-regime evaluation: with probability `1 - accuracy()` the
+    /// write lands in the wrong state and the output is complemented.
+    bool eval_stochastic(bool a, bool b, Rng& rng) const {
+        const bool ideal = eval(a, b);
+        return rng.bernoulli(accuracy_) ? ideal : !ideal;
+    }
+
+    /// Tunable per-device accuracy in (0.5, 1]; 1.0 = deterministic regime.
+    void set_accuracy(double accuracy);
+    double accuracy() const { return accuracy_; }
+
+    // ---- static configuration algebra -------------------------------------
+
+    /// Canonical terminal assignment realizing `f` (Fig. 5). Total: all 16
+    /// functions are reachable; verified exhaustively in tests.
+    static PrimitiveConfig config_for(Bool2 f);
+
+    /// The function computed by an arbitrary terminal assignment.
+    /// Throws std::invalid_argument for tie configurations (summed write
+    /// current can be zero), which the device cannot resolve.
+    static Bool2 function_of(const PrimitiveConfig& config);
+
+    /// True if no input combination produces a zero summed write current.
+    static bool is_valid(const PrimitiveConfig& config);
+
+    /// Evaluates an assignment directly.
+    static bool evaluate(const PrimitiveConfig& config, bool a, bool b);
+
+    /// Every valid configuration (for exhaustiveness studies and tests).
+    static std::vector<PrimitiveConfig> all_valid_configs();
+
+private:
+    PrimitiveConfig config_;
+    double accuracy_ = 1.0;
+};
+
+}  // namespace gshe::core

@@ -1,0 +1,74 @@
+#pragma once
+// Cloaked sequential cells (Sec. III-C: "we can readily extend our
+// primitive to cloak latches and flip-flops, by applying the clock signal
+// to the fixed ferromagnets' terminals").
+//
+// The nanomagnet pair stores its bit non-volatilely; gating the read-out
+// voltages with the clock turns the same layout into a level-sensitive
+// latch (transparent while the clock drives the terminals, opaque — output
+// holding its last driven value — otherwise). Two such cells in
+// master-slave arrangement give an edge-triggered flip-flop. Because the
+// write path still accepts the full terminal-assignment algebra, the
+// stored function itself stays camouflaged: a CloakedLatch is
+// indistinguishable from a combinational cell and from latches of any of
+// the 16 data functions.
+
+#include "core/boolean_function.hpp"
+#include "core/primitive.hpp"
+
+namespace gshe::core {
+
+/// Level-sensitive latch over the polymorphic primitive: while the clock
+/// is high the cell is transparent (q = f(a, b)); while low, q holds.
+/// The magnet state keeps following the inputs (writes are not gated), so
+/// the *stored* bit is always fresh — only the read-out is clock-gated,
+/// exactly as the paper describes.
+class CloakedLatch {
+public:
+    explicit CloakedLatch(Bool2 f) : primitive_(f) {}
+    explicit CloakedLatch(const PrimitiveConfig& config) : primitive_(config) {}
+
+    Bool2 function() const { return primitive_.function(); }
+
+    /// Advances one evaluation: updates the stored state from (a, b) and,
+    /// if clk is high, refreshes the visible output.
+    void tick(bool clk, bool a, bool b) {
+        state_ = primitive_.eval(a, b);
+        if (clk) q_ = state_;
+    }
+
+    /// Visible output (last value driven while the clock was high).
+    bool q() const { return q_; }
+    /// Internal nonvolatile state (survives power-down; test hook).
+    bool stored_state() const { return state_; }
+
+private:
+    Primitive primitive_;
+    bool state_ = false;
+    bool q_ = false;
+};
+
+/// Master-slave edge-triggered flip-flop from two cloaked latches: the
+/// master is transparent while the clock is low, the slave while high, so
+/// q updates on the rising edge with f(a, b) sampled just before it.
+class CloakedFlipFlop {
+public:
+    explicit CloakedFlipFlop(Bool2 f) : master_(f), slave_(Bool2::A()) {}
+
+    Bool2 function() const { return master_.function(); }
+
+    /// Presents (a, b) and a clock level; call once per half-period (or at
+    /// least once per level change). Output changes only on rising edges.
+    void tick(bool clk, bool a, bool b) {
+        master_.tick(!clk, a, b);
+        slave_.tick(clk, master_.q(), false);
+    }
+
+    bool q() const { return slave_.q(); }
+
+private:
+    CloakedLatch master_;
+    CloakedLatch slave_;
+};
+
+}  // namespace gshe::core

@@ -1,0 +1,43 @@
+#include "core/stochastic.hpp"
+
+namespace gshe::core {
+
+SwitchingDelayModel SwitchingDelayModel::fit(
+    const std::vector<double>& delays) {
+    if (delays.size() < 2)
+        throw std::invalid_argument("SwitchingDelayModel::fit: need >= 2 samples");
+    double sum = 0.0;
+    for (double d : delays) {
+        if (d <= 0.0)
+            throw std::invalid_argument("SwitchingDelayModel::fit: non-positive delay");
+        sum += std::log(d);
+    }
+    const double mu = sum / static_cast<double>(delays.size());
+    double ss = 0.0;
+    for (double d : delays) {
+        const double e = std::log(d) - mu;
+        ss += e * e;
+    }
+    const double sigma =
+        std::sqrt(ss / static_cast<double>(delays.size() - 1));
+    return SwitchingDelayModel(mu, sigma > 0.0 ? sigma : 1e-12);
+}
+
+double SwitchingDelayModel::pulse_for_accuracy(double accuracy) const {
+    if (!(accuracy > 0.0 && accuracy < 1.0))
+        throw std::invalid_argument(
+            "SwitchingDelayModel: accuracy must be in (0, 1)");
+    // Inverse-normal via bisection on the monotone CDF; 80 iterations give
+    // ~1e-24 relative precision, far below physical meaning.
+    double lo = mu_ - 12.0 * sigma_, hi = mu_ + 12.0 * sigma_;
+    for (int i = 0; i < 80; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (accuracy_for_pulse(std::exp(mid)) < accuracy)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return std::exp(0.5 * (lo + hi));
+}
+
+}  // namespace gshe::core

@@ -1,0 +1,53 @@
+#pragma once
+// Tunable stochastic switching (Sec. V-B).
+//
+// The GSHE switch "experiences thermally induced stochasticity" and "the
+// error rate for any switch can be tuned individually". Physically the knob
+// is the write-pulse duration relative to the stochastic switching delay: a
+// pulse shorter than the delay of a given trial leaves the state unchanged
+// and the evaluation is wrong. We model the per-trial delay as lognormal —
+// a standard and well-fitting description of near-critical STT reversal —
+// with parameters fit to the sLLGS Monte-Carlo of characterization.cpp, and
+// expose accuracy <-> pulse-width conversion both ways.
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace gshe::core {
+
+/// Lognormal delay model ln(delay) ~ Normal(mu, sigma^2).
+class SwitchingDelayModel {
+public:
+    SwitchingDelayModel(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+        if (sigma <= 0.0)
+            throw std::invalid_argument("SwitchingDelayModel: sigma must be > 0");
+    }
+
+    /// Fits mu/sigma by the method of moments on log-delays.
+    /// Precondition: at least two positive samples.
+    static SwitchingDelayModel fit(const std::vector<double>& delays);
+
+    double mu() const { return mu_; }
+    double sigma() const { return sigma_; }
+    double median_delay() const { return std::exp(mu_); }
+    double mean_delay() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+    /// P(delay <= pulse), i.e. the probability the write completes — the
+    /// device's per-evaluation accuracy at this pulse width.
+    double accuracy_for_pulse(double pulse) const {
+        if (pulse <= 0.0) return 0.0;
+        const double z = (std::log(pulse) - mu_) / sigma_;
+        return 0.5 * std::erfc(-z / std::sqrt(2.0));
+    }
+
+    /// Shortest pulse achieving the target accuracy (inverse of the above).
+    /// Precondition: 0 < accuracy < 1.
+    double pulse_for_accuracy(double accuracy) const;
+
+private:
+    double mu_;
+    double sigma_;
+};
+
+}  // namespace gshe::core

@@ -1,0 +1,294 @@
+#include "netlist/bench_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace gshe::netlist {
+namespace {
+
+std::string trim(const std::string& s) {
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+}
+
+[[noreturn]] void parse_fail(int line, const std::string& msg) {
+    throw std::runtime_error("bench parse error at line " +
+                             std::to_string(line) + ": " + msg);
+}
+
+struct PendingGate {
+    std::string target;
+    std::string op;
+    std::vector<std::string> args;
+    int line;
+};
+
+/// Maps a .bench n-ary operator to the 2-input function used in the
+/// decomposition tree (NAND(a,b,c) = NOT(AND(AND(a,b),c)) etc.).
+struct OpInfo {
+    core::Bool2 reduce;  // associative 2-input reduction
+    bool invert_result;  // apply NOT after the reduction
+};
+
+std::map<std::string, OpInfo> op_table() {
+    using core::Bool2;
+    return {
+        {"AND", {Bool2::AND(), false}},  {"NAND", {Bool2::AND(), true}},
+        {"OR", {Bool2::OR(), false}},    {"NOR", {Bool2::OR(), true}},
+        {"XOR", {Bool2::XOR(), false}},  {"XNOR", {Bool2::XOR(), true}},
+    };
+}
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, std::string name) {
+    Netlist nl(std::move(name));
+    std::map<std::string, GateId, std::less<>> symbols;
+    std::vector<std::string> output_names;
+    std::vector<PendingGate> pending;
+    const auto ops = op_table();
+
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = raw;
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty()) continue;
+
+        const auto paren = line.find('(');
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            // INPUT(x) / OUTPUT(y)
+            if (paren == std::string::npos || line.back() != ')')
+                parse_fail(line_no, "expected INPUT(..)/OUTPUT(..) or assignment");
+            const std::string kw = trim(line.substr(0, paren));
+            const std::string arg = trim(line.substr(paren + 1, line.size() - paren - 2));
+            if (arg.empty()) parse_fail(line_no, "empty port name");
+            if (kw == "INPUT") {
+                if (symbols.count(arg)) parse_fail(line_no, "duplicate signal " + arg);
+                symbols[arg] = nl.add_input(arg);
+            } else if (kw == "OUTPUT") {
+                output_names.push_back(arg);
+            } else {
+                parse_fail(line_no, "unknown directive " + kw);
+            }
+            continue;
+        }
+
+        // target = OP(a, b, ...)
+        PendingGate pg;
+        pg.target = trim(line.substr(0, eq));
+        pg.line = line_no;
+        const std::string rhs = trim(line.substr(eq + 1));
+        const auto rp = rhs.find('(');
+        if (rp == std::string::npos || rhs.back() != ')')
+            parse_fail(line_no, "expected OP(args)");
+        pg.op = trim(rhs.substr(0, rp));
+        std::string args = rhs.substr(rp + 1, rhs.size() - rp - 2);
+        std::stringstream ss(args);
+        std::string tok;
+        while (std::getline(ss, tok, ',')) {
+            tok = trim(tok);
+            if (tok.empty()) parse_fail(line_no, "empty operand");
+            pg.args.push_back(tok);
+        }
+        if (pg.args.empty()) parse_fail(line_no, "operator with no operands");
+        if (pg.target.empty()) parse_fail(line_no, "assignment without target");
+        pending.push_back(std::move(pg));
+    }
+
+    // Two-pass resolution so gates may be declared in any order: first create
+    // placeholders implied by names, then wire. Simplest correct approach:
+    // iterate until all pending gates resolve (netlists are DAGs, so forward
+    // references resolve in <= n passes; typical files are already ordered).
+    std::vector<bool> done(pending.size(), false);
+    std::size_t remaining = pending.size();
+    bool progress = true;
+    while (remaining > 0 && progress) {
+        progress = false;
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            if (done[i]) continue;
+            const PendingGate& pg = pending[i];
+            bool ready = true;
+            for (const std::string& a : pg.args)
+                if (!symbols.count(a)) {
+                    ready = false;
+                    break;
+                }
+            if (!ready) continue;
+
+            std::vector<GateId> fan;
+            fan.reserve(pg.args.size());
+            for (const std::string& a : pg.args) fan.push_back(symbols.at(a));
+
+            GateId result;
+            if (pg.op == "NOT" || pg.op == "INV") {
+                if (fan.size() != 1) parse_fail(pg.line, "NOT takes one operand");
+                result = nl.add_unary(core::Bool2::NOT_A(), fan[0], pg.target);
+            } else if (pg.op == "BUF" || pg.op == "BUFF") {
+                if (fan.size() != 1) parse_fail(pg.line, "BUF takes one operand");
+                result = nl.add_unary(core::Bool2::A(), fan[0], pg.target);
+            } else if (pg.op == "DFF") {
+                if (fan.size() != 1) parse_fail(pg.line, "DFF takes one operand");
+                result = nl.add_dff(fan[0], pg.target);
+            } else if (auto it = ops.find(pg.op); it != ops.end()) {
+                if (fan.size() < 2)
+                    parse_fail(pg.line, pg.op + " needs at least two operands");
+                if (fan.size() == 2) {
+                    // The common case maps to a single native gate so that
+                    // NAND stays NAND (gate counts and the camouflage
+                    // eligibility pool must not be distorted).
+                    const core::Bool2 fn = it->second.invert_result
+                                               ? it->second.reduce.complement()
+                                               : it->second.reduce;
+                    result = nl.add_gate(fn, fan[0], fan[1], pg.target);
+                } else {
+                    // Balanced reduction keeps decomposition depth log(n).
+                    std::vector<GateId> layer = fan;
+                    while (layer.size() > 1) {
+                        std::vector<GateId> next;
+                        for (std::size_t k = 0; k + 1 < layer.size(); k += 2)
+                            next.push_back(nl.add_gate(it->second.reduce,
+                                                       layer[k], layer[k + 1]));
+                        if (layer.size() % 2) next.push_back(layer.back());
+                        layer = std::move(next);
+                    }
+                    result = layer[0];
+                    if (it->second.invert_result)
+                        result =
+                            nl.add_unary(core::Bool2::NOT_A(), result, pg.target);
+                    else
+                        nl.gate(result).name = pg.target;
+                }
+            } else {
+                parse_fail(pg.line, "unknown operator " + pg.op);
+            }
+            symbols[pg.target] = result;
+            done[i] = true;
+            --remaining;
+            progress = true;
+        }
+    }
+    if (remaining > 0)
+        for (std::size_t i = 0; i < pending.size(); ++i)
+            if (!done[i])
+                parse_fail(pending[i].line,
+                           "unresolved operand (undefined signal or cycle)");
+
+    for (const std::string& out : output_names) {
+        const auto it = symbols.find(out);
+        if (it == symbols.end())
+            throw std::runtime_error("bench: OUTPUT(" + out + ") never defined");
+        nl.add_output(it->second, out);
+    }
+    return nl;
+}
+
+Netlist read_bench_string(const std::string& text, std::string name) {
+    std::istringstream in(text);
+    return read_bench(in, std::move(name));
+}
+
+Netlist read_bench_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("bench: cannot open " + path);
+    return read_bench(in, path);
+}
+
+namespace {
+
+/// Stable printable name for a gate (generated for anonymous internals).
+std::string gate_name(const Netlist& nl, GateId id) {
+    const Gate& g = nl.gate(id);
+    if (!g.name.empty()) return g.name;
+    return "n" + std::to_string(id);
+}
+
+const char* fn_op_name(core::Bool2 fn) {
+    using core::Bool2;
+    if (fn == Bool2::AND()) return "AND";
+    if (fn == Bool2::NAND()) return "NAND";
+    if (fn == Bool2::OR()) return "OR";
+    if (fn == Bool2::NOR()) return "NOR";
+    if (fn == Bool2::XOR()) return "XOR";
+    if (fn == Bool2::XNOR()) return "XNOR";
+    if (fn == Bool2::NOT_A()) return "NOT";
+    if (fn == Bool2::A()) return "BUF";
+    return nullptr;
+}
+
+}  // namespace
+
+void write_bench(std::ostream& out, const Netlist& nl, bool with_camo_comments) {
+    out << "# " << nl.name() << " (" << nl.inputs().size() << " inputs, "
+        << nl.outputs().size() << " outputs, " << nl.logic_gate_count()
+        << " gates)\n";
+    for (GateId id : nl.inputs()) out << "INPUT(" << gate_name(nl, id) << ")\n";
+    for (const PortRef& po : nl.outputs()) out << "OUTPUT(" << po.name << ")\n";
+
+    for (GateId id : nl.topological_order()) {
+        const Gate& g = nl.gate(id);
+        switch (g.type) {
+            case CellType::Input:
+                break;
+            case CellType::Const0:
+                // .bench has no constants; a canonical XOR(x, x) would need a
+                // signal. Emit as AND of a fresh input is wrong; use the
+                // conventional "= AND(g, NOT g)" trick via first input.
+                throw std::runtime_error(
+                    "write_bench: constants are not representable in .bench");
+            case CellType::Const1:
+                throw std::runtime_error(
+                    "write_bench: constants are not representable in .bench");
+            case CellType::Dff:
+                out << gate_name(nl, id) << " = DFF(" << gate_name(nl, g.a) << ")\n";
+                break;
+            case CellType::Logic: {
+                const char* op = fn_op_name(g.fn);
+                if (op == nullptr)
+                    throw std::runtime_error(
+                        "write_bench: gate " + gate_name(nl, id) +
+                        " has a non-standard function " + std::string(g.fn.name()));
+                out << gate_name(nl, id) << " = " << op << "(" << gate_name(nl, g.a);
+                if (g.fanin_count() == 2) out << ", " << gate_name(nl, g.b);
+                out << ")\n";
+                break;
+            }
+        }
+    }
+
+    if (with_camo_comments && !nl.camo_cells().empty()) {
+        out << "# --- camouflage table ---\n";
+        for (const CamoCell& c : nl.camo_cells()) {
+            out << "# camo " << gate_name(nl, c.gate) << " " << c.library << " ";
+            for (std::size_t i = 0; i < c.candidates.size(); ++i) {
+                if (i) out << ',';
+                out << c.candidates[i].name();
+            }
+            out << "\n";
+        }
+    }
+
+    // Outputs whose driver has a generated name need an alias buffer if the
+    // PO name differs from the driver's printable name.
+    for (const PortRef& po : nl.outputs()) {
+        const std::string drv = gate_name(nl, po.gate);
+        if (drv != po.name) out << po.name << " = BUF(" << drv << ")\n";
+    }
+}
+
+std::string write_bench_string(const Netlist& nl, bool with_camo_comments) {
+    std::ostringstream out;
+    write_bench(out, nl, with_camo_comments);
+    return out.str();
+}
+
+}  // namespace gshe::netlist

@@ -1,0 +1,35 @@
+#pragma once
+// Reader/writer for the ISCAS-85/89 ".bench" netlist format, the exchange
+// format of the benchmark suites the paper evaluates on (and of the public
+// SAT-attack tooling [37] it uses).
+//
+//   INPUT(a)            declares a primary input
+//   OUTPUT(n5)          declares a primary output
+//   n5 = NAND(a, b)     standard cells: AND OR NAND NOR XOR XNOR NOT BUF DFF
+//   n6 = AND(a, b, c)   multi-input gates are decomposed to 2-input trees
+//
+// Camouflaged cells are serialized as a "# camo" comment block so protected
+// netlists round-trip losslessly through our own tools while remaining
+// valid plain .bench for third-party consumers.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace gshe::netlist {
+
+/// Parses .bench text. Throws std::runtime_error with a line-numbered
+/// message on malformed input.
+Netlist read_bench(std::istream& in, std::string name = "bench");
+Netlist read_bench_string(const std::string& text, std::string name = "bench");
+Netlist read_bench_file(const std::string& path);
+
+/// Serializes to .bench. If `with_camo_comments` is set, emits one
+/// "# camo <gate> <library> <f1,f2,...>" line per camouflaged cell.
+void write_bench(std::ostream& out, const Netlist& nl,
+                 bool with_camo_comments = true);
+std::string write_bench_string(const Netlist& nl,
+                               bool with_camo_comments = true);
+
+}  // namespace gshe::netlist

@@ -1,0 +1,205 @@
+#include "netlist/corpus.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "netlist/generator.hpp"
+
+namespace gshe::netlist {
+namespace {
+
+using core::Bool2;
+
+/// Copies `base`, demotes its primary outputs to internal nodes, and buries
+/// everything under a random logic cloud. Used to embed arithmetic blocks
+/// (the SAT-hard cores of b14/b21/log2-class circuits) the way they appear
+/// inside real designs: not directly observable.
+Netlist bury_in_cloud(const Netlist& base, int cloud_gates, int n_outputs,
+                      std::uint64_t seed, std::string name,
+                      int n_extra_inputs = 0) {
+    Netlist nl(std::move(name));
+    Rng rng(seed);
+
+    std::vector<GateId> remap(base.size(), kNoGate);
+    for (GateId id : base.inputs()) remap[id] = nl.add_input(base.gate(id).name);
+    std::vector<GateId> extra_inputs;
+    for (int i = 0; i < n_extra_inputs; ++i)
+        extra_inputs.push_back(nl.add_input("xi" + std::to_string(i)));
+    for (GateId id : base.topological_order()) {
+        const Gate& g = base.gate(id);
+        if (g.type != CellType::Logic) continue;
+        if (g.fanin_count() == 1)
+            remap[id] = nl.add_unary(g.fn, remap[g.a]);
+        else
+            remap[id] = nl.add_gate(g.fn, remap[g.a], remap[g.b]);
+    }
+
+    // Source pool: the buried block's outputs plus all primary inputs.
+    // Everything starts "unused" so extra inputs cannot dangle.
+    std::vector<GateId> pool;
+    for (const PortRef& po : base.outputs()) pool.push_back(remap[po.gate]);
+    for (GateId id : nl.inputs()) pool.push_back(id);
+
+    std::vector<GateId> unused = pool;
+    auto pick = [&]() -> GateId {
+        if (!unused.empty() && rng.bernoulli(0.6)) {
+            const std::size_t k = rng.below(unused.size());
+            const GateId id = unused[k];
+            unused[k] = unused.back();
+            unused.pop_back();
+            return id;
+        }
+        return pool[rng.below(pool.size())];
+    };
+
+    for (int i = 0; i < cloud_gates; ++i) {
+        const GateId a = pick();
+        GateId b = pick();
+        if (b == a) b = pool[rng.below(pool.size())];
+        Bool2 fn;
+        switch (rng.below(5)) {
+            case 0: fn = Bool2::NAND(); break;
+            case 1: fn = Bool2::NOR(); break;
+            case 2: fn = Bool2::AND(); break;
+            case 3: fn = Bool2::OR(); break;
+            default: fn = Bool2::XOR(); break;
+        }
+        const GateId id = (b == a) ? nl.add_unary(Bool2::NOT_A(), a)
+                                   : nl.add_gate(fn, a, b);
+        pool.push_back(id);
+        unused.push_back(id);
+    }
+
+    for (int i = 0; i < n_outputs; ++i) {
+        GateId drv;
+        if (!unused.empty()) {
+            drv = unused.back();
+            unused.pop_back();
+        } else {
+            drv = pool[pool.size() - 1 - rng.below(std::min<std::size_t>(64, pool.size()))];
+        }
+        nl.add_output(drv, "po" + std::to_string(i));
+    }
+    int extra = 0;
+    while (!unused.empty()) {
+        const GateId drv = unused.back();
+        unused.pop_back();
+        if (nl.gate(drv).type == CellType::Input) continue;
+        nl.add_output(drv, "po_x" + std::to_string(extra++));
+    }
+    return nl;
+}
+
+}  // namespace
+
+const std::vector<CorpusEntry>& corpus_entries() {
+    static const std::vector<CorpusEntry> kEntries = {
+        {"c7552", "ISCAS-85", CorpusClass::SatAttack, 207, 108, 4045},
+        {"ex1010", "MCNC", CorpusClass::SatAttack, 10, 10, 5066},
+        {"aes_core", "OpenCores", CorpusClass::SatAttack, 789, 668, 39014},
+        {"b14", "ITC-99", CorpusClass::SatAttack, 277, 299, 11028},
+        {"b21", "ITC-99", CorpusClass::SatAttack, 522, 512, 22715},
+        {"pci_bridge32", "IWLS", CorpusClass::SatAttack, 3520, 3528, 35992},
+        {"log2", "EPFL", CorpusClass::SatAttack, 32, 32, 51627},
+        {"s38584", "ISCAS-89", CorpusClass::Sequential, 38, 304, 19253},
+        {"sb1", "IBM superblue", CorpusClass::Timing, 8320, 13025, 856403},
+        {"sb5", "IBM superblue", CorpusClass::Timing, 11661, 9617, 741483},
+        {"sb10", "IBM superblue", CorpusClass::Timing, 10454, 23663, 1117846},
+        {"sb12", "IBM superblue", CorpusClass::Timing, 1936, 4629, 1523108},
+        {"sb18", "IBM superblue", CorpusClass::Timing, 3921, 7465, 659511},
+    };
+    return kEntries;
+}
+
+Netlist build_benchmark(const std::string& name) {
+    // SAT-study circuits, scaled to laptop-tractable size. The relative
+    // ordering of structural hardness follows the paper: ex1010 (10 inputs,
+    // enumerable) easiest; random control logic (c7552, pci) mid; arithmetic-
+    // bearing (b14/b21/aes) hard; pure multiplier (log2) hardest.
+    if (name == "c7552") {
+        RandomSpec s{.n_inputs = 100, .n_outputs = 60, .n_gates = 700,
+                     .seed = 7552, .xor_fraction = 0.12, .inv_fraction = 0.10,
+                     .locality = 48};
+        return random_circuit(s, "c7552");
+    }
+    if (name == "ex1010") {
+        // MCNC ex1010 is a dense 10-input PLA: tiny input space, deep logic.
+        // The 10-input space is what makes it the most resolvable circuit of
+        // Table IV (even at 100% protection for the 2-function primitive).
+        RandomSpec s{.n_inputs = 10, .n_outputs = 10, .n_gates = 350,
+                     .seed = 1010, .xor_fraction = 0.05, .inv_fraction = 0.08,
+                     .locality = 24};
+        return random_circuit(s, "ex1010");
+    }
+    if (name == "aes_core") {
+        // XOR-rich wide datapath.
+        RandomSpec s{.n_inputs = 256, .n_outputs = 128, .n_gates = 1400,
+                     .seed = 0xAE5, .xor_fraction = 0.35, .inv_fraction = 0.05,
+                     .locality = 96};
+        return random_circuit(s, "aes_core");
+    }
+    if (name == "b14") {
+        // Processor-class: an embedded multiplier buried in control logic —
+        // harder than pure random logic (c7552), easier than b21/log2.
+        return bury_in_cloud(array_multiplier(4), 1000, 96, 14, "b14",
+                             /*n_extra_inputs=*/92);
+    }
+    if (name == "b21") {
+        return bury_in_cloud(array_multiplier(6), 2000, 128, 21, "b21",
+                             /*n_extra_inputs=*/116);
+    }
+    if (name == "pci_bridge32") {
+        RandomSpec s{.n_inputs = 512, .n_outputs = 512, .n_gates = 1600,
+                     .seed = 32, .xor_fraction = 0.06, .inv_fraction = 0.12,
+                     .locality = 512};
+        return random_circuit(s, "pci_bridge32");
+    }
+    if (name == "log2") {
+        // A bare multiplier: times out for every technique in Table IV.
+        Netlist nl = array_multiplier(16);
+        nl.set_name("log2");
+        return nl;
+    }
+    if (name == "s38584") {
+        SequentialSpec s{.n_inputs = 38, .n_outputs = 64, .n_ffs = 192,
+                         .n_gates = 1400, .seed = 38584};
+        return random_sequential(s, "s38584");
+    }
+
+    // Superblue-class (timing study): wide shallow bulk + sparse long chains.
+    auto sb = [&](int bulk_gates, int bulk_depth, int chains, int chain_len,
+                  int ios, std::uint64_t seed) {
+        LayeredSpec s;
+        s.n_inputs = ios;
+        s.n_outputs = ios;
+        s.bulk_gates = bulk_gates;
+        s.bulk_depth = bulk_depth;
+        s.n_chains = chains;
+        s.chain_length = chain_len;
+        s.seed = seed;
+        return s;
+    };
+    if (name == "sb1") return layered_circuit(sb(24000, 60, 8, 640, 2048, 1), "sb1");
+    if (name == "sb5") return layered_circuit(sb(20000, 55, 6, 500, 2048, 5), "sb5");
+    if (name == "sb10") return layered_circuit(sb(30000, 70, 8, 600, 3072, 10), "sb10");
+    if (name == "sb12") return layered_circuit(sb(36000, 80, 5, 380, 1024, 12), "sb12");
+    if (name == "sb18") return layered_circuit(sb(16000, 50, 5, 300, 1536, 18), "sb18");
+
+    throw std::invalid_argument("build_benchmark: unknown benchmark " + name);
+}
+
+std::vector<CorpusEntry> sat_attack_corpus() {
+    std::vector<CorpusEntry> out;
+    for (const CorpusEntry& e : corpus_entries())
+        if (e.cls == CorpusClass::SatAttack) out.push_back(e);
+    return out;
+}
+
+std::vector<CorpusEntry> timing_corpus() {
+    std::vector<CorpusEntry> out;
+    for (const CorpusEntry& e : corpus_entries())
+        if (e.cls == CorpusClass::Timing) out.push_back(e);
+    return out;
+}
+
+}  // namespace gshe::netlist

@@ -1,0 +1,45 @@
+#pragma once
+// The benchmark corpus mirroring Table III.
+//
+// Each entry names a circuit from the paper's study, records the paper's
+// reported characteristics, and builds a seeded synthetic stand-in of the
+// same topology class at a laptop-tractable scale (the scale factor is
+// recorded so reports can show both). See DESIGN.md for the substitution
+// rationale. Generation is deterministic: the same name always yields the
+// same netlist.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gshe::netlist {
+
+/// Which study a corpus entry participates in.
+enum class CorpusClass {
+    SatAttack,   ///< Table IV SAT-resilience grid
+    Timing,      ///< Fig. 6 / hybrid delay-aware study (superblue class)
+    Sequential,  ///< Sec. II STT-LUT study (scan preprocessing required)
+};
+
+struct CorpusEntry {
+    std::string name;        ///< paper benchmark name, e.g. "aes_core"
+    std::string suite;       ///< ISCAS-85 / ITC-99 / EPFL / IBM superblue ...
+    CorpusClass cls;
+    int paper_inputs;        ///< Table III columns
+    int paper_outputs;
+    int paper_gates;
+};
+
+/// All Table III circuits (plus s38584 from Sec. II).
+const std::vector<CorpusEntry>& corpus_entries();
+
+/// Builds the synthetic stand-in for a corpus entry. Throws on unknown name.
+Netlist build_benchmark(const std::string& name);
+
+/// Entries participating in the Table IV SAT study, smallest first.
+std::vector<CorpusEntry> sat_attack_corpus();
+/// Superblue-class entries for the Fig. 6 / hybrid study.
+std::vector<CorpusEntry> timing_corpus();
+
+}  // namespace gshe::netlist

@@ -1,0 +1,300 @@
+#include "netlist/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace gshe::netlist {
+namespace {
+
+using core::Bool2;
+
+/// Weighted choice of a standard 2-input gate function.
+Bool2 random_fn2(Rng& rng, double xor_fraction) {
+    if (rng.bernoulli(xor_fraction))
+        return rng.bernoulli(0.5) ? Bool2::XOR() : Bool2::XNOR();
+    switch (rng.below(4)) {
+        case 0: return Bool2::NAND();
+        case 1: return Bool2::NOR();
+        case 2: return Bool2::AND();
+        default: return Bool2::OR();
+    }
+}
+
+/// Picks a fanin, preferring nodes that do not yet drive anything (so the
+/// finished circuit has no dangling logic), falling back to a window of
+/// recently created nodes (locality keeps depth growing, like real logic).
+GateId pick_fanin(Rng& rng, const std::vector<GateId>& all,
+                  std::vector<GateId>& unused, int locality) {
+    if (!unused.empty() && rng.bernoulli(0.5)) {
+        const std::size_t k = rng.below(unused.size());
+        const GateId id = unused[k];
+        unused[k] = unused.back();
+        unused.pop_back();
+        return id;
+    }
+    const std::size_t window =
+        std::min<std::size_t>(all.size(), static_cast<std::size_t>(locality));
+    const std::size_t base = all.size() - window;
+    return all[base + rng.below(window)];
+}
+
+}  // namespace
+
+Netlist random_circuit(const RandomSpec& spec, std::string name) {
+    if (spec.n_inputs < 2 || spec.n_outputs < 1 ||
+        spec.n_gates < spec.n_outputs)
+        throw std::invalid_argument("random_circuit: inconsistent spec");
+
+    Netlist nl(std::move(name));
+    Rng rng(spec.seed);
+
+    std::vector<GateId> nodes;   // all value-producing nodes in creation order
+    std::vector<GateId> unused;  // nodes without fanout yet
+    for (int i = 0; i < spec.n_inputs; ++i) {
+        const GateId id = nl.add_input("pi" + std::to_string(i));
+        nodes.push_back(id);
+        unused.push_back(id);
+    }
+
+    for (int i = 0; i < spec.n_gates; ++i) {
+        GateId id;
+        if (rng.bernoulli(spec.inv_fraction)) {
+            const GateId a = pick_fanin(rng, nodes, unused, spec.locality);
+            id = nl.add_unary(Bool2::NOT_A(), a);
+        } else {
+            const GateId a = pick_fanin(rng, nodes, unused, spec.locality);
+            GateId b = pick_fanin(rng, nodes, unused, spec.locality);
+            if (b == a) b = nodes[rng.below(nodes.size())];
+            if (b == a) b = nodes[0] == a && nodes.size() > 1 ? nodes[1] : nodes[0];
+            id = nl.add_gate(random_fn2(rng, spec.xor_fraction), a, b);
+        }
+        nodes.push_back(id);
+        unused.push_back(id);
+    }
+
+    // Outputs: drain the unused pool first (late nodes preferred), then any.
+    for (int i = 0; i < spec.n_outputs; ++i) {
+        GateId drv;
+        if (!unused.empty()) {
+            drv = unused.back();
+            unused.pop_back();
+        } else {
+            drv = nodes[nodes.size() - 1 - rng.below(std::min<std::size_t>(
+                                              nodes.size(), 128))];
+        }
+        nl.add_output(drv, "po" + std::to_string(i));
+    }
+    // Any remaining unused nodes also become outputs so nothing dangles
+    // (real benchmarks have no dead logic; dead logic would distort the
+    // "% of gates camouflaged" accounting).
+    int extra = 0;
+    while (!unused.empty()) {
+        const GateId drv = unused.back();
+        unused.pop_back();
+        if (nl.gate(drv).type == CellType::Input) continue;
+        nl.add_output(drv, "po_x" + std::to_string(extra++));
+    }
+    return nl;
+}
+
+Netlist ripple_carry_adder(int bits) {
+    if (bits < 1) throw std::invalid_argument("ripple_carry_adder: bits >= 1");
+    Netlist nl("rca" + std::to_string(bits));
+    std::vector<GateId> a(bits), b(bits);
+    for (int i = 0; i < bits; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+    for (int i = 0; i < bits; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+    GateId carry = nl.add_input("cin");
+    for (int i = 0; i < bits; ++i) {
+        const GateId axb = nl.add_gate(Bool2::XOR(), a[i], b[i]);
+        const GateId sum = nl.add_gate(Bool2::XOR(), axb, carry);
+        const GateId g1 = nl.add_gate(Bool2::AND(), a[i], b[i]);
+        const GateId g2 = nl.add_gate(Bool2::AND(), axb, carry);
+        carry = nl.add_gate(Bool2::OR(), g1, g2);
+        nl.add_output(sum, "s" + std::to_string(i));
+    }
+    nl.add_output(carry, "cout");
+    return nl;
+}
+
+Netlist array_multiplier(int bits) {
+    if (bits < 2) throw std::invalid_argument("array_multiplier: bits >= 2");
+    Netlist nl("mult" + std::to_string(bits));
+    std::vector<GateId> a(bits), b(bits);
+    for (int i = 0; i < bits; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+    for (int i = 0; i < bits; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+
+    // NAND-mapped arithmetic (as technology mapping produces it, and so the
+    // NAND/NOR camouflage-selection pool is populated):
+    //   and(x,y)  = NOT(NAND(x,y))
+    //   carry_out = NAND(NAND(x,y), NAND(x^y, cin))
+    auto nand_and = [&](GateId x, GateId y) {
+        return nl.add_unary(Bool2::NOT_A(), nl.add_gate(Bool2::NAND(), x, y));
+    };
+    auto full_adder = [&](GateId x, GateId y, GateId cin, GateId& sum,
+                          GateId& cout) {
+        const GateId xy = nl.add_gate(Bool2::XOR(), x, y);
+        sum = nl.add_gate(Bool2::XOR(), xy, cin);
+        const GateId g1 = nl.add_gate(Bool2::NAND(), x, y);
+        const GateId g2 = nl.add_gate(Bool2::NAND(), xy, cin);
+        cout = nl.add_gate(Bool2::NAND(), g1, g2);
+    };
+
+    // Running partial sum. After processing row i, row[j] carries the
+    // product bit of weight (i + 1) + j.
+    std::vector<GateId> row;
+    {
+        std::vector<GateId> pp0(bits);
+        for (int j = 0; j < bits; ++j)
+            pp0[j] = nand_and(a[0], b[j]);
+        nl.add_output(pp0[0], "p0");
+        for (int j = 1; j < bits; ++j) row.push_back(pp0[j]);  // weights 1..bits-1
+    }
+
+    for (int i = 1; i < bits; ++i) {
+        std::vector<GateId> pp(bits);
+        for (int j = 0; j < bits; ++j)
+            pp[j] = nand_and(a[i], b[j]);  // weight i + j
+        std::vector<GateId> next(bits);
+        GateId carry = kNoGate;
+        for (int j = 0; j < bits; ++j) {
+            // Partial-sum bit of the same weight i + j, if it exists.
+            const GateId x = static_cast<std::size_t>(j) < row.size()
+                                 ? row[static_cast<std::size_t>(j)]
+                                 : kNoGate;
+            GateId sum, cout;
+            if (x == kNoGate && carry == kNoGate) {
+                sum = pp[j];
+                cout = kNoGate;
+            } else if (x == kNoGate) {
+                sum = nl.add_gate(Bool2::XOR(), pp[j], carry);
+                cout = nand_and(pp[j], carry);
+            } else if (carry == kNoGate) {
+                sum = nl.add_gate(Bool2::XOR(), x, pp[j]);
+                cout = nand_and(x, pp[j]);
+            } else {
+                full_adder(x, pp[j], carry, sum, cout);
+            }
+            next[j] = sum;
+            carry = cout;
+        }
+        nl.add_output(next[0], "p" + std::to_string(i));
+        // Remaining sum for the next row: next[1..bits-1] then the carry.
+        row.clear();
+        for (int j = 1; j < bits; ++j) row.push_back(next[j]);
+        if (carry != kNoGate) row.push_back(carry);
+    }
+    for (std::size_t j = 0; j < row.size(); ++j)
+        nl.add_output(row[j], "p" + std::to_string(bits + static_cast<int>(j)));
+    return nl;
+}
+
+Netlist random_sequential(const SequentialSpec& spec, std::string name) {
+    // Build the combinational cloud over PIs and FF outputs, then close the
+    // loop: each FF samples a cloud node.
+    RandomSpec rs;
+    rs.n_inputs = spec.n_inputs + spec.n_ffs;  // FF outputs act as inputs
+    rs.n_outputs = spec.n_outputs + spec.n_ffs;
+    rs.n_gates = spec.n_gates;
+    rs.seed = spec.seed;
+    Netlist cloud = random_circuit(rs, name);
+
+    Netlist nl(std::move(name));
+    std::vector<GateId> remap(cloud.size(), kNoGate);
+    // Real PIs.
+    for (int i = 0; i < spec.n_inputs; ++i)
+        remap[cloud.inputs()[i]] = nl.add_input("pi" + std::to_string(i));
+    // FF placeholders: create DFFs later; reserve ids by adding inputs we
+    // replace — instead, create the DFF gates up-front with a dummy D (the
+    // first PI) and patch D after the cloud is copied.
+    std::vector<GateId> ffs(spec.n_ffs);
+    const GateId dummy_d = remap[cloud.inputs()[0]];
+    for (int i = 0; i < spec.n_ffs; ++i) {
+        ffs[i] = nl.add_dff(dummy_d, "ff" + std::to_string(i));
+        remap[cloud.inputs()[spec.n_inputs + i]] = ffs[i];
+    }
+    // Copy logic in topological order.
+    for (GateId id : cloud.topological_order()) {
+        const Gate& g = cloud.gate(id);
+        if (g.type != CellType::Logic) continue;
+        const GateId a = remap[g.a];
+        if (g.fanin_count() == 1)
+            remap[id] = nl.add_unary(g.fn, a, g.name);
+        else
+            remap[id] = nl.add_gate(g.fn, a, remap[g.b], g.name);
+    }
+    // First n_outputs cloud POs are real POs; the next n_ffs feed the FFs.
+    for (int i = 0; i < spec.n_outputs; ++i) {
+        const PortRef& po = cloud.outputs()[i];
+        nl.add_output(remap[po.gate], "po" + std::to_string(i));
+    }
+    for (int i = 0; i < spec.n_ffs; ++i) {
+        const PortRef& po = cloud.outputs()[spec.n_outputs + i];
+        nl.gate(ffs[i]).a = remap[po.gate];
+    }
+    return nl;
+}
+
+Netlist layered_circuit(const LayeredSpec& spec, std::string name) {
+    Netlist nl(std::move(name));
+    Rng rng(spec.seed);
+
+    std::vector<GateId> prev;
+    for (int i = 0; i < spec.n_inputs; ++i)
+        prev.push_back(nl.add_input("pi" + std::to_string(i)));
+
+    // Shallow bulk: bulk_depth layers of equal width; each gate draws its
+    // fanins from the previous layer (short paths only).
+    const int per_layer = std::max(1, spec.bulk_gates / spec.bulk_depth);
+    std::vector<GateId> sinks;
+    for (int layer = 0; layer < spec.bulk_depth; ++layer) {
+        std::vector<GateId> cur;
+        for (int i = 0; i < per_layer; ++i) {
+            const GateId a = prev[rng.below(prev.size())];
+            GateId b = prev[rng.below(prev.size())];
+            if (b == a) b = prev[(rng.below(prev.size()))];
+            cur.push_back(nl.add_gate(random_fn2(rng, 0.08), a, b));
+        }
+        prev = std::move(cur);
+    }
+    sinks = prev;
+
+    // Sparse long chains: the dominant critical paths of Fig. 6.
+    for (int c = 0; c < spec.n_chains; ++c) {
+        GateId node = nl.inputs()[rng.below(nl.inputs().size())];
+        for (int i = 0; i < spec.chain_length; ++i) {
+            const GateId other = sinks[rng.below(sinks.size())];
+            node = nl.add_gate(i % 3 == 0 ? Bool2::NAND() : Bool2::XOR(), node,
+                               other);
+        }
+        nl.add_output(node, "chain" + std::to_string(c));
+    }
+
+    for (int i = 0; i < spec.n_outputs; ++i)
+        nl.add_output(sinks[rng.below(sinks.size())], "po" + std::to_string(i));
+    return nl;
+}
+
+Netlist c17() {
+    static const char* kText = R"(# ISCAS-85 c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+    return read_bench_string(kText, "c17");
+}
+
+}  // namespace gshe::netlist

@@ -1,0 +1,72 @@
+#pragma once
+// Synthetic benchmark generators.
+//
+// The paper evaluates on ISCAS-85, MCNC, ITC-99, the EPFL suite and the
+// proprietary IBM superblue circuits (Table III). Those netlists are not
+// redistributable (and at paper scale a 48-hour-timeout study is not a
+// laptop workload), so the corpus module builds *seeded synthetic stand-ins*
+// from the generators here, matched in topology class and scaled in size.
+// SAT-attack hardness is driven by circuit structure (depth, fan-in
+// convergence, XOR content) and by the camouflaged-key solution space, both
+// of which these generators control; DESIGN.md discusses the substitution.
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace gshe::netlist {
+
+/// Parameters for random combinational logic (the "random control logic"
+/// class: c7552/b14/pci-like circuits).
+struct RandomSpec {
+    int n_inputs = 32;
+    int n_outputs = 32;
+    int n_gates = 500;        ///< total logic gates (>= n_outputs)
+    std::uint64_t seed = 1;
+    double xor_fraction = 0.10;  ///< fraction of XOR/XNOR gates
+    double inv_fraction = 0.10;  ///< fraction of NOT gates
+    int locality = 64;  ///< fanin window over recently created nodes
+};
+
+/// Random DAG with every gate reachable from inputs and (transitively)
+/// driving at least one output.
+Netlist random_circuit(const RandomSpec& spec, std::string name = "random");
+
+/// n-bit ripple-carry adder: 2n+1 inputs (a, b, cin), n+1 outputs.
+Netlist ripple_carry_adder(int bits);
+
+/// n x n array multiplier — the classic SAT-hard arithmetic structure used
+/// as the stand-in for the EPFL `log2` circuit (which times out for every
+/// technique in Table IV).
+Netlist array_multiplier(int bits);
+
+/// Random sequential circuit: `n_ffs` D flip-flops on a random next-state /
+/// output logic cloud (s38584-class stand-in for the Sec. II STT-LUT study).
+struct SequentialSpec {
+    int n_inputs = 16;
+    int n_outputs = 16;
+    int n_ffs = 32;
+    int n_gates = 400;
+    std::uint64_t seed = 1;
+};
+Netlist random_sequential(const SequentialSpec& spec,
+                          std::string name = "seq");
+
+/// Superblue-class stand-in for the Fig. 6 / hybrid-design study: a wide,
+/// mostly shallow circuit (many short paths) plus a few long gate chains
+/// (the sparse critical paths marked with crosses in Fig. 6).
+struct LayeredSpec {
+    int n_inputs = 256;
+    int n_outputs = 256;
+    int bulk_gates = 8000;     ///< shallow random cloud
+    int bulk_depth = 14;       ///< target depth of the cloud
+    int n_chains = 6;          ///< number of long chains
+    int chain_length = 220;    ///< gates per chain (sets the critical delay)
+    std::uint64_t seed = 1;
+};
+Netlist layered_circuit(const LayeredSpec& spec, std::string name = "layered");
+
+/// The real ISCAS-85 c17 (6 NAND gates) — the canonical smoke-test circuit.
+Netlist c17();
+
+}  // namespace gshe::netlist

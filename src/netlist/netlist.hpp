@@ -1,0 +1,149 @@
+#pragma once
+// Gate-level netlist representation.
+//
+// Design: every node is a Gate with at most two fanins; combinational logic
+// is carried uniformly as a two-input Boolean function (core::Bool2), which
+// makes camouflaging (swap the function set), simulation (table lookup) and
+// CNF encoding (one clause pattern) entirely generic. Multi-input gates in
+// imported .bench files are decomposed into balanced two-input trees.
+//
+// A camouflaged gate keeps its true function in `fn` (the defender/oracle
+// view) and additionally carries an index into the netlist's camouflage
+// table, which lists the candidate functions an attacker must distinguish
+// among (the attacker view). Key-based evaluation lives in camo/locking.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/boolean_function.hpp"
+
+namespace gshe::netlist {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNoGate = std::numeric_limits<GateId>::max();
+
+enum class CellType : std::uint8_t {
+    Input,   ///< primary input; no fanins
+    Const0,  ///< constant 0
+    Const1,  ///< constant 1
+    Logic,   ///< combinational gate computing fn(a, b)
+    Dff,     ///< D flip-flop; fanin a is D, the gate output is Q
+};
+
+/// One netlist node. Value type; identity is the GateId index.
+struct Gate {
+    CellType type = CellType::Logic;
+    core::Bool2 fn;        ///< valid when type == Logic
+    GateId a = kNoGate;    ///< first fanin
+    GateId b = kNoGate;    ///< second fanin (kNoGate for 1-input functions)
+    std::int32_t camo_index = -1;  ///< >= 0: index into Netlist::camo_cells()
+    std::string name;
+
+    bool is_camouflaged() const { return camo_index >= 0; }
+    int fanin_count() const {
+        if (type != CellType::Logic) return type == CellType::Dff ? 1 : 0;
+        return b == kNoGate ? 1 : 2;
+    }
+};
+
+/// A camouflaged cell instance: which functions it could implement. The true
+/// function is the gate's `fn` and is always a member of `candidates`.
+struct CamoCell {
+    GateId gate = kNoGate;
+    std::vector<core::Bool2> candidates;
+    /// Name of the primitive library that produced this cell (reporting).
+    std::string library;
+
+    /// Key bits needed to select among the candidates (ceil(log2(n))).
+    int key_bits() const;
+    /// Position of the true function within `candidates`.
+    int true_index(const Gate& g) const;
+};
+
+/// A primary output: a named reference to its driver gate.
+struct PortRef {
+    GateId gate = kNoGate;
+    std::string name;
+};
+
+class Netlist {
+public:
+    Netlist() = default;
+    explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+    void set_name(std::string n) { name_ = std::move(n); }
+
+    // ---- construction ------------------------------------------------------
+    GateId add_input(std::string name);
+    GateId add_const(bool value);
+    /// Two-input gate computing fn(a, b).
+    GateId add_gate(core::Bool2 fn, GateId a, GateId b, std::string name = {});
+    /// One-input gate (BUF/INV-class function; b must be irrelevant to fn).
+    GateId add_unary(core::Bool2 fn, GateId a, std::string name = {});
+    GateId add_dff(GateId d, std::string name = {});
+    void add_output(GateId driver, std::string name);
+
+    /// Rewires every consumer of `from` (gate fanins, DFF D pins and primary
+    /// outputs) to read `to` instead. Gates listed in `skip` keep their
+    /// original fanin — used when inserting a cell into a wire.
+    void redirect_fanouts(GateId from, GateId to, GateId skip = kNoGate);
+
+    /// Marks gate g as camouflaged with the given candidate set; returns the
+    /// camo table index. The true function (g.fn) must be in `candidates`.
+    int camouflage(GateId g, std::vector<core::Bool2> candidates,
+                   std::string library);
+    /// Removes all camouflage marks, restoring the plain netlist.
+    void clear_camouflage();
+
+    // ---- access ------------------------------------------------------------
+    std::size_t size() const { return gates_.size(); }
+    const Gate& gate(GateId id) const { return gates_[id]; }
+    Gate& gate(GateId id) { return gates_[id]; }
+    const std::vector<GateId>& inputs() const { return inputs_; }
+    const std::vector<PortRef>& outputs() const { return outputs_; }
+    const std::vector<GateId>& dffs() const { return dffs_; }
+    const std::vector<CamoCell>& camo_cells() const { return camo_cells_; }
+
+    /// Number of Logic gates (the denominator of "% IP protection").
+    std::size_t logic_gate_count() const;
+    /// Total key bits over all camouflaged cells.
+    int key_bit_count() const;
+
+    /// Gate ids in topological order (inputs/constants first). Cached;
+    /// invalidated by any structural mutation. Throws if a combinational
+    /// cycle exists (DFF outputs count as sources, DFF inputs as sinks).
+    const std::vector<GateId>& topological_order() const;
+
+    /// Fanout lists (computed on demand, cached alongside the topo order).
+    const std::vector<std::vector<GateId>>& fanouts() const;
+
+    /// Longest path length in gates from any source (levelization).
+    std::vector<int> levels() const;
+    int depth() const;
+
+    /// True if every gate's fanins exist and no combinational cycle exists.
+    bool validate(std::string* error = nullptr) const;
+
+private:
+    GateId push(Gate g);
+    void invalidate_caches() const;
+
+    std::string name_;
+    std::vector<Gate> gates_;
+    std::vector<GateId> inputs_;
+    std::vector<PortRef> outputs_;
+    std::vector<GateId> dffs_;
+    std::vector<CamoCell> camo_cells_;
+
+    mutable std::vector<GateId> topo_cache_;
+    mutable std::vector<std::vector<GateId>> fanout_cache_;
+    mutable bool caches_valid_ = false;
+};
+
+}  // namespace gshe::netlist

@@ -1,0 +1,59 @@
+#include "netlist/sequential.hpp"
+
+#include <stdexcept>
+
+namespace gshe::netlist {
+
+Netlist unroll_for_scan(const Netlist& nl) {
+    Netlist out(nl.name() + "_scan");
+    std::vector<GateId> remap(nl.size(), kNoGate);
+
+    for (GateId id : nl.inputs())
+        remap[id] = out.add_input(nl.gate(id).name);
+    // Each flip-flop's Q becomes a scan input.
+    for (GateId id : nl.dffs()) {
+        const std::string& n = nl.gate(id).name;
+        remap[id] = out.add_input("scan_" + (n.empty() ? std::to_string(id) : n));
+    }
+
+    for (GateId id : nl.topological_order()) {
+        const Gate& g = nl.gate(id);
+        switch (g.type) {
+            case CellType::Input:
+            case CellType::Dff:
+                break;  // remapped above
+            case CellType::Const0:
+                remap[id] = out.add_const(false);
+                break;
+            case CellType::Const1:
+                remap[id] = out.add_const(true);
+                break;
+            case CellType::Logic: {
+                const GateId a = remap[g.a];
+                if (a == kNoGate)
+                    throw std::logic_error("unroll_for_scan: fanin not remapped");
+                if (g.fanin_count() == 1)
+                    remap[id] = out.add_unary(g.fn, a, g.name);
+                else
+                    remap[id] = out.add_gate(g.fn, a, remap[g.b], g.name);
+                break;
+            }
+        }
+    }
+
+    for (const PortRef& po : nl.outputs()) out.add_output(remap[po.gate], po.name);
+    // Each flip-flop's D pin becomes a scan output.
+    for (GateId id : nl.dffs()) {
+        const Gate& g = nl.gate(id);
+        const std::string& n = g.name;
+        out.add_output(remap[g.a],
+                       "scan_" + (n.empty() ? std::to_string(id) : n) + "_d");
+    }
+
+    // Preserve camouflage marks on the copied gates.
+    for (const CamoCell& c : nl.camo_cells())
+        out.camouflage(remap[c.gate], c.candidates, c.library);
+    return out;
+}
+
+}  // namespace gshe::netlist

@@ -1,0 +1,17 @@
+#pragma once
+// Sequential-to-combinational preprocessing for oracle-guided attacks.
+//
+// Sec. V-A: "the inputs (and outputs) of all flip-flops become primary
+// outputs (and inputs); thereafter, the flip-flops are removed. (Doing so is
+// essential to mimic access to scan chains for the SAT attacks.)"
+
+#include "netlist/netlist.hpp"
+
+namespace gshe::netlist {
+
+/// Returns a purely combinational copy of `nl` where every DFF output is a
+/// new primary input ("scan_<name>") and every DFF input (D pin) drives a
+/// new primary output ("scan_<name>_d"). Camouflage marks are preserved.
+Netlist unroll_for_scan(const Netlist& nl);
+
+}  // namespace gshe::netlist

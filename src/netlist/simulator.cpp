@@ -1,0 +1,96 @@
+#include "netlist/simulator.hpp"
+
+#include <stdexcept>
+
+namespace gshe::netlist {
+
+std::vector<std::uint64_t> Simulator::run(
+    std::span<const std::uint64_t> pi_words,
+    std::span<const std::uint64_t> dff_words) const {
+    return run_impl(pi_words, {}, dff_words);
+}
+
+std::vector<std::uint64_t> Simulator::run_with_functions(
+    std::span<const std::uint64_t> pi_words,
+    std::span<const core::Bool2> overrides,
+    std::span<const std::uint64_t> dff_words) const {
+    if (overrides.size() != nl_->camo_cells().size())
+        throw std::invalid_argument(
+            "Simulator: one override per camouflaged cell required");
+    return run_impl(pi_words, overrides, dff_words);
+}
+
+std::vector<std::uint64_t> Simulator::run_noisy(
+    std::span<const std::uint64_t> pi_words,
+    std::span<const std::uint64_t> flip_masks,
+    std::span<const std::uint64_t> dff_words) const {
+    if (flip_masks.size() != nl_->camo_cells().size())
+        throw std::invalid_argument(
+            "Simulator: one flip mask per camouflaged cell required");
+    return run_impl(pi_words, {}, dff_words, flip_masks);
+}
+
+std::vector<std::uint64_t> Simulator::run_impl(
+    std::span<const std::uint64_t> pi_words,
+    std::span<const core::Bool2> overrides,
+    std::span<const std::uint64_t> dff_words,
+    std::span<const std::uint64_t> flip_masks) const {
+    const Netlist& nl = *nl_;
+    if (pi_words.size() != nl.inputs().size())
+        throw std::invalid_argument("Simulator: wrong primary-input count");
+    if (!dff_words.empty() && dff_words.size() != nl.dffs().size())
+        throw std::invalid_argument("Simulator: wrong DFF state count");
+
+    values_.assign(nl.size(), 0);
+    for (std::size_t i = 0; i < pi_words.size(); ++i)
+        values_[nl.inputs()[i]] = pi_words[i];
+    if (!dff_words.empty())
+        for (std::size_t i = 0; i < dff_words.size(); ++i)
+            values_[nl.dffs()[i]] = dff_words[i];
+
+    for (GateId id : nl.topological_order()) {
+        const Gate& g = nl.gate(id);
+        switch (g.type) {
+            case CellType::Input:
+            case CellType::Dff:
+                break;  // already seeded
+            case CellType::Const0:
+                values_[id] = 0;
+                break;
+            case CellType::Const1:
+                values_[id] = ~std::uint64_t{0};
+                break;
+            case CellType::Logic: {
+                const core::Bool2 fn =
+                    (!overrides.empty() && g.camo_index >= 0)
+                        ? overrides[static_cast<std::size_t>(g.camo_index)]
+                        : g.fn;
+                const std::uint64_t a = values_[g.a];
+                const std::uint64_t b = g.b == kNoGate ? 0 : values_[g.b];
+                std::uint64_t v = Simulator::eval_word(fn, a, b);
+                if (!flip_masks.empty() && g.camo_index >= 0)
+                    v ^= flip_masks[static_cast<std::size_t>(g.camo_index)];
+                values_[id] = v;
+                break;
+            }
+        }
+    }
+
+    std::vector<std::uint64_t> out;
+    out.reserve(nl.outputs().size());
+    for (const PortRef& po : nl.outputs()) out.push_back(values_[po.gate]);
+    return out;
+}
+
+std::vector<bool> Simulator::run_single(const std::vector<bool>& pi) const {
+    std::vector<std::uint64_t> words(pi.size());
+    for (std::size_t i = 0; i < pi.size(); ++i)
+        words[i] = pi[i] ? ~std::uint64_t{0} : 0;
+    const auto out_words = run(words);
+    std::vector<bool> out(out_words.size());
+    for (std::size_t i = 0; i < out_words.size(); ++i)
+        out[i] = (out_words[i] & 1) != 0;
+    return out;
+}
+
+}  // namespace gshe::netlist

@@ -1,0 +1,69 @@
+#pragma once
+// 64-way bit-parallel logic simulation.
+//
+// Each primary input carries a 64-bit word = 64 independent patterns, so one
+// topological sweep evaluates 64 vectors at once. This is the workhorse for
+// the attack oracle, for equivalence spot-checks, and for the stochastic-
+// oracle study. Camouflaged gates evaluate their *true* function by default
+// (the oracle view); pass per-camo-cell overrides for the attacker view.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gshe::netlist {
+
+class Simulator {
+public:
+    explicit Simulator(const Netlist& nl) : nl_(&nl) {}
+
+    /// Evaluates 64 packed patterns. `pi_words[i]` is the word for
+    /// nl.inputs()[i]; DFF outputs evaluate to `dff_words` (zeros if empty).
+    /// Returns one word per primary output.
+    std::vector<std::uint64_t> run(std::span<const std::uint64_t> pi_words,
+                                   std::span<const std::uint64_t> dff_words = {}) const;
+
+    /// As above but camo cell k computes `overrides[k]` instead of its true
+    /// function (attacker view under a key guess).
+    std::vector<std::uint64_t> run_with_functions(
+        std::span<const std::uint64_t> pi_words,
+        std::span<const core::Bool2> overrides,
+        std::span<const std::uint64_t> dff_words = {}) const;
+
+    /// True-function evaluation with injected errors: camo cell k's output
+    /// word is XORed with `flip_masks[k]` (bit i set = pattern i's evaluation
+    /// of that device was wrong). This models the tunable stochastic mode of
+    /// the GSHE primitive (Sec. V-B).
+    std::vector<std::uint64_t> run_noisy(
+        std::span<const std::uint64_t> pi_words,
+        std::span<const std::uint64_t> flip_masks,
+        std::span<const std::uint64_t> dff_words = {}) const;
+
+    /// Single-pattern convenience (bit 0 of the packed run).
+    std::vector<bool> run_single(const std::vector<bool>& pi) const;
+
+    /// Evaluates a two-input truth table on packed words.
+    static std::uint64_t eval_word(core::Bool2 fn, std::uint64_t a,
+                                   std::uint64_t b) {
+        const std::uint8_t tt = fn.truth_table();
+        std::uint64_t r = 0;
+        if (tt & 0x1) r |= ~a & ~b;
+        if (tt & 0x2) r |= ~a & b;
+        if (tt & 0x4) r |= a & ~b;
+        if (tt & 0x8) r |= a & b;
+        return r;
+    }
+
+private:
+    std::vector<std::uint64_t> run_impl(std::span<const std::uint64_t> pi_words,
+                                        std::span<const core::Bool2> overrides,
+                                        std::span<const std::uint64_t> dff_words,
+                                        std::span<const std::uint64_t> flip_masks = {}) const;
+
+    const Netlist* nl_;
+    mutable std::vector<std::uint64_t> values_;  // scratch, one word per gate
+};
+
+}  // namespace gshe::netlist

@@ -1,0 +1,63 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sat/solver.hpp"
+
+namespace gshe::sat {
+
+CnfFormula read_dimacs(std::istream& in) {
+    CnfFormula f;
+    std::string tok;
+    int expected_clauses = -1;
+    Clause current;
+    while (in >> tok) {
+        if (tok == "c") {
+            std::string rest;
+            std::getline(in, rest);
+            continue;
+        }
+        if (tok == "p") {
+            std::string fmt;
+            in >> fmt >> f.num_vars >> expected_clauses;
+            if (fmt != "cnf")
+                throw std::runtime_error("dimacs: unsupported format " + fmt);
+            continue;
+        }
+        const int v = std::stoi(tok);
+        if (v == 0) {
+            f.clauses.push_back(current);
+            current.clear();
+        } else {
+            const Var var = std::abs(v) - 1;
+            if (var >= f.num_vars) f.num_vars = var + 1;
+            current.push_back(Lit(var, v < 0));
+        }
+    }
+    if (!current.empty())
+        throw std::runtime_error("dimacs: clause not zero-terminated");
+    return f;
+}
+
+CnfFormula read_dimacs_string(const std::string& text) {
+    std::istringstream in(text);
+    return read_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const CnfFormula& f) {
+    out << "p cnf " << f.num_vars << ' ' << f.clauses.size() << '\n';
+    for (const Clause& c : f.clauses) {
+        for (Lit l : c) out << (l.negated() ? -(l.var() + 1) : l.var() + 1) << ' ';
+        out << "0\n";
+    }
+}
+
+bool load_into_solver(const CnfFormula& f, Solver& solver) {
+    while (solver.num_vars() < f.num_vars) solver.new_var();
+    for (const Clause& c : f.clauses)
+        if (!solver.add_clause(c)) return false;
+    return true;
+}
+
+}  // namespace gshe::sat

@@ -1,0 +1,33 @@
+#pragma once
+// DIMACS CNF import/export — interop with external solvers and a debugging
+// aid for the attack miters.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace gshe::sat {
+
+class Solver;
+
+/// A standalone CNF formula (1-based DIMACS variable numbering kept
+/// internally 0-based).
+struct CnfFormula {
+    int num_vars = 0;
+    std::vector<Clause> clauses;
+};
+
+/// Parses DIMACS text ("p cnf V C" header plus zero-terminated clauses).
+CnfFormula read_dimacs(std::istream& in);
+CnfFormula read_dimacs_string(const std::string& text);
+
+/// Writes DIMACS text.
+void write_dimacs(std::ostream& out, const CnfFormula& f);
+
+/// Loads a formula into a solver (creates vars 0..num_vars-1).
+/// Returns false if the formula is trivially unsatisfiable during load.
+bool load_into_solver(const CnfFormula& f, Solver& solver);
+
+}  // namespace gshe::sat

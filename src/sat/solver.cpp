@@ -1,0 +1,546 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gshe::sat {
+
+Var Solver::new_var() {
+    const Var v = static_cast<Var>(assign_.size());
+    assign_.push_back(LBool::Undef);
+    reason_.push_back(kNoReason);
+    level_.push_back(0);
+    activity_.push_back(0.0);
+    heap_pos_.push_back(-1);
+    polarity_.push_back(0);
+    seen_.push_back(0);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    heap_insert(v);
+    return v;
+}
+
+bool Solver::add_clause(Clause c) {
+    if (!ok_) return false;
+    // Root-level simplification: drop false/duplicate lits, detect tautology.
+    std::sort(c.begin(), c.end());
+    Clause out;
+    Lit prev = kUndefLit;
+    for (Lit l : c) {
+        if (l == prev) continue;
+        if (prev != kUndefLit && l == ~prev) return true;  // tautology
+        const LBool v = value(l);
+        if (v == LBool::True && level_of(l.var()) == 0) return true;
+        if (v == LBool::False && level_of(l.var()) == 0) {
+            prev = l;
+            continue;
+        }
+        out.push_back(l);
+        prev = l;
+    }
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        if (value(out[0]) == LBool::True) return true;
+        if (value(out[0]) == LBool::False) {
+            ok_ = false;
+            return false;
+        }
+        enqueue(out[0], kNoReason);
+        if (propagate() != kNoReason) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+    const ClauseRef cref = alloc_clause(std::move(out), false);
+    attach(cref);
+    return true;
+}
+
+Solver::ClauseRef Solver::alloc_clause(Clause lits, bool learnt) {
+    ClauseData cd;
+    cd.lits = std::move(lits);
+    cd.learnt = learnt;
+    clauses_.push_back(std::move(cd));
+    return static_cast<ClauseRef>(clauses_.size() - 1);
+}
+
+void Solver::attach(ClauseRef cref) {
+    const auto& lits = clauses_[cref].lits;
+    watches_[static_cast<std::size_t>((~lits[0]).code())].push_back({cref, lits[1]});
+    watches_[static_cast<std::size_t>((~lits[1]).code())].push_back({cref, lits[0]});
+}
+
+void Solver::detach(ClauseRef cref) {
+    const auto& lits = clauses_[cref].lits;
+    for (int i = 0; i < 2; ++i) {
+        auto& ws = watches_[static_cast<std::size_t>((~lits[i]).code())];
+        for (std::size_t j = 0; j < ws.size(); ++j)
+            if (ws[j].cref == cref) {
+                ws[j] = ws.back();
+                ws.pop_back();
+                break;
+            }
+    }
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+    const auto v = static_cast<std::size_t>(l.var());
+    assign_[v] = l.negated() ? LBool::False : LBool::True;
+    reason_[v] = reason;
+    level_[v] = current_level();
+    trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+    while (qhead_ < trail_.size()) {
+        const Lit p = trail_[qhead_++];
+        ++stats_.propagations;
+        auto& ws = watches_[static_cast<std::size_t>(p.code())];
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            const Watcher w = ws[i];
+            // Fast path: blocker already true.
+            if (value(w.blocker) == LBool::True) {
+                ws[keep++] = w;
+                continue;
+            }
+            ClauseData& c = clauses_[w.cref];
+            auto& lits = c.lits;
+            // Normalize: false watched literal at position 1.
+            const Lit not_p = ~p;
+            if (lits[0] == not_p) std::swap(lits[0], lits[1]);
+            // lits[1] == not_p now.
+            if (value(lits[0]) == LBool::True) {
+                ws[keep++] = {w.cref, lits[0]};
+                continue;
+            }
+            // Find a new watch.
+            bool found = false;
+            for (std::size_t k = 2; k < lits.size(); ++k) {
+                if (value(lits[k]) != LBool::False) {
+                    std::swap(lits[1], lits[k]);
+                    watches_[static_cast<std::size_t>((~lits[1]).code())].push_back(
+                        {w.cref, lits[0]});
+                    found = true;
+                    break;
+                }
+            }
+            if (found) continue;  // watcher moved; do not keep here
+            // Clause is unit or conflicting.
+            ws[keep++] = {w.cref, lits[0]};
+            if (value(lits[0]) == LBool::False) {
+                // Conflict: restore untouched watchers and bail out.
+                for (std::size_t k = i + 1; k < ws.size(); ++k) ws[keep++] = ws[k];
+                ws.resize(keep);
+                qhead_ = trail_.size();
+                return w.cref;
+            }
+            enqueue(lits[0], w.cref);
+        }
+        ws.resize(keep);
+    }
+    return kNoReason;
+}
+
+void Solver::backtrack_to(int target_level) {
+    if (current_level() <= target_level) return;
+    const int first = trail_lim_[static_cast<std::size_t>(target_level)];
+    for (int i = static_cast<int>(trail_.size()) - 1; i >= first; --i) {
+        const Var v = trail_[static_cast<std::size_t>(i)].var();
+        const auto vi = static_cast<std::size_t>(v);
+        if (opts_.use_phase_saving)
+            polarity_[vi] = assign_[vi] == LBool::True ? 1 : 0;
+        assign_[vi] = LBool::Undef;
+        reason_[vi] = kNoReason;
+        if (!heap_contains(v)) heap_insert(v);
+    }
+    trail_.resize(static_cast<std::size_t>(first));
+    trail_lim_.resize(static_cast<std::size_t>(target_level));
+    qhead_ = trail_.size();
+}
+
+std::int32_t Solver::compute_lbd(const Clause& c) {
+    // Number of distinct decision levels; small LBD = high-quality clause.
+    std::int32_t lbd = 0;
+    analyze_clear_.clear();  // reuse as scratch marker list via seen_ flags
+    for (Lit l : c) {
+        const int lv = level_of(l.var());
+        if (lv == 0) continue;
+        bool dup = false;
+        for (Lit m : analyze_clear_)
+            if (level_of(m.var()) == lv) {
+                dup = true;
+                break;
+            }
+        if (!dup) {
+            ++lbd;
+            analyze_clear_.push_back(l);
+        }
+    }
+    analyze_clear_.clear();
+    return lbd;
+}
+
+void Solver::analyze(ClauseRef conflict, Clause& learnt, int& backtrack_level) {
+    learnt.clear();
+    learnt.push_back(kUndefLit);  // slot for the asserting literal
+
+    int counter = 0;
+    Lit p = kUndefLit;
+    std::size_t index = trail_.size();
+    ClauseRef reason = conflict;
+
+    // First-UIP resolution walk over the trail.
+    do {
+        ClauseData& c = clauses_[reason];
+        if (c.learnt) bump_clause(c);
+        for (std::size_t j = (p == kUndefLit ? 0 : 1); j < c.lits.size(); ++j) {
+            const Lit q = c.lits[j];
+            const auto qv = static_cast<std::size_t>(q.var());
+            if (seen_[qv] || level_of(q.var()) == 0) continue;
+            seen_[qv] = 1;
+            bump_var(q.var());
+            if (level_of(q.var()) >= current_level())
+                ++counter;
+            else
+                learnt.push_back(q);
+        }
+        // Next literal to resolve on.
+        while (!seen_[static_cast<std::size_t>(trail_[index - 1].var())]) --index;
+        p = trail_[--index];
+        reason = reason_[static_cast<std::size_t>(p.var())];
+        seen_[static_cast<std::size_t>(p.var())] = 0;
+        --counter;
+    } while (counter > 0);
+    learnt[0] = ~p;
+
+    // Clause minimization: drop literals whose reason is subsumed.
+    analyze_clear_.assign(learnt.begin(), learnt.end());
+    std::uint32_t abstract_levels = 0;
+    for (std::size_t i = 1; i < learnt.size(); ++i)
+        abstract_levels |= 1u << (level_of(learnt[i].var()) & 31);
+    std::size_t out = 1;
+    for (std::size_t i = 1; i < learnt.size(); ++i) {
+        const auto v = static_cast<std::size_t>(learnt[i].var());
+        if (reason_[v] == kNoReason || !literal_redundant(learnt[i], abstract_levels))
+            learnt[out++] = learnt[i];
+    }
+    learnt.resize(out);
+    for (Lit l : analyze_clear_) seen_[static_cast<std::size_t>(l.var())] = 0;
+    analyze_clear_.clear();
+
+    // Backtrack level = second-highest level in the learnt clause.
+    if (learnt.size() == 1) {
+        backtrack_level = 0;
+    } else {
+        std::size_t max_i = 1;
+        for (std::size_t i = 2; i < learnt.size(); ++i)
+            if (level_of(learnt[i].var()) > level_of(learnt[max_i].var())) max_i = i;
+        std::swap(learnt[1], learnt[max_i]);
+        backtrack_level = level_of(learnt[1].var());
+    }
+}
+
+bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
+    analyze_stack_.clear();
+    analyze_stack_.push_back(l);
+    const std::size_t top = analyze_clear_.size();
+    while (!analyze_stack_.empty()) {
+        const Lit cur = analyze_stack_.back();
+        analyze_stack_.pop_back();
+        const auto cv = static_cast<std::size_t>(cur.var());
+        const ClauseRef r = reason_[cv];
+        if (r == kNoReason) continue;  // decision reached: handled by caller guard
+        const ClauseData& c = clauses_[r];
+        for (std::size_t j = 1; j < c.lits.size(); ++j) {
+            const Lit q = c.lits[j];
+            const auto qv = static_cast<std::size_t>(q.var());
+            if (seen_[qv] || level_of(q.var()) == 0) continue;
+            if (reason_[qv] == kNoReason ||
+                ((1u << (level_of(q.var()) & 31)) & abstract_levels) == 0) {
+                // Not removable: undo marks made during this check.
+                for (std::size_t k = top; k < analyze_clear_.size(); ++k)
+                    seen_[static_cast<std::size_t>(analyze_clear_[k].var())] = 0;
+                analyze_clear_.resize(top);
+                return false;
+            }
+            seen_[qv] = 1;
+            analyze_clear_.push_back(q);
+            analyze_stack_.push_back(q);
+        }
+    }
+    return true;
+}
+
+void Solver::bump_var(Var v) {
+    const auto vi = static_cast<std::size_t>(v);
+    activity_[vi] += var_inc_;
+    if (activity_[vi] > 1e100) {
+        for (double& a : activity_) a *= 1e-100;
+        var_inc_ *= 1e-100;
+    }
+    if (heap_contains(v)) heap_up(heap_pos_[vi]);
+}
+
+void Solver::bump_clause(ClauseData& c) {
+    c.activity += cla_inc_;
+    if (c.activity > 1e20) {
+        for (ClauseRef cr : learnts_) clauses_[cr].activity *= 1e-20;
+        cla_inc_ *= 1e-20;
+    }
+}
+
+// ---- decision heap ---------------------------------------------------------
+
+void Solver::heap_insert(Var v) {
+    heap_pos_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
+    heap_.push_back(v);
+    heap_up(static_cast<int>(heap_.size()) - 1);
+}
+
+void Solver::heap_up(int i) {
+    const Var v = heap_[static_cast<std::size_t>(i)];
+    const double act = activity_[static_cast<std::size_t>(v)];
+    while (i > 0) {
+        const int parent = (i - 1) / 2;
+        const Var pv = heap_[static_cast<std::size_t>(parent)];
+        if (activity_[static_cast<std::size_t>(pv)] >= act) break;
+        heap_[static_cast<std::size_t>(i)] = pv;
+        heap_pos_[static_cast<std::size_t>(pv)] = i;
+        i = parent;
+    }
+    heap_[static_cast<std::size_t>(i)] = v;
+    heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+void Solver::heap_down(int i) {
+    const Var v = heap_[static_cast<std::size_t>(i)];
+    const double act = activity_[static_cast<std::size_t>(v)];
+    const int n = static_cast<int>(heap_.size());
+    while (true) {
+        int child = 2 * i + 1;
+        if (child >= n) break;
+        if (child + 1 < n &&
+            activity_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(child + 1)])] >
+                activity_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(child)])])
+            ++child;
+        const Var cv = heap_[static_cast<std::size_t>(child)];
+        if (act >= activity_[static_cast<std::size_t>(cv)]) break;
+        heap_[static_cast<std::size_t>(i)] = cv;
+        heap_pos_[static_cast<std::size_t>(cv)] = i;
+        i = child;
+    }
+    heap_[static_cast<std::size_t>(i)] = v;
+    heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+Var Solver::heap_pop() {
+    const Var v = heap_[0];
+    heap_pos_[static_cast<std::size_t>(v)] = -1;
+    const Var last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_[0] = last;
+        heap_pos_[static_cast<std::size_t>(last)] = 0;
+        heap_down(0);
+    }
+    return v;
+}
+
+Lit Solver::pick_branch_lit() {
+    Var v = kNoVar;
+    if (opts_.use_vsids) {
+        while (!heap_.empty()) {
+            v = heap_pop();
+            if (value(v) == LBool::Undef) break;
+            v = kNoVar;
+        }
+    } else {
+        for (Var u = 0; u < num_vars(); ++u)
+            if (value(u) == LBool::Undef) {
+                v = u;
+                break;
+            }
+    }
+    if (v == kNoVar) return kUndefLit;
+    const bool phase =
+        opts_.use_phase_saving && polarity_[static_cast<std::size_t>(v)] != 0;
+    return Lit(v, !phase);
+}
+
+// ---- learnt DB reduction ----------------------------------------------------
+
+bool Solver::clause_locked(ClauseRef cref) const {
+    const auto& lits = clauses_[cref].lits;
+    const Var v = lits[0].var();
+    return value(lits[0]) == LBool::True &&
+           reason_[static_cast<std::size_t>(v)] == cref;
+}
+
+void Solver::reduce_learnt_db() {
+    // Keep glue clauses (LBD <= 2) and the most active half of the rest.
+    std::vector<ClauseRef> candidates;
+    for (ClauseRef cr : learnts_)
+        if (!clauses_[cr].deleted && clauses_[cr].lbd > 2 && !clause_locked(cr))
+            candidates.push_back(cr);
+    std::sort(candidates.begin(), candidates.end(),
+              [&](ClauseRef a, ClauseRef b) {
+                  return clauses_[a].activity < clauses_[b].activity;
+              });
+    const std::size_t remove = candidates.size() / 2;
+    for (std::size_t i = 0; i < remove; ++i) {
+        detach(candidates[i]);
+        clauses_[candidates[i]].deleted = true;
+        clauses_[candidates[i]].lits.clear();
+        clauses_[candidates[i]].lits.shrink_to_fit();
+        ++free_list_guard_;
+        ++stats_.removed_clauses;
+    }
+    learnts_.erase(std::remove_if(learnts_.begin(), learnts_.end(),
+                                  [&](ClauseRef cr) { return clauses_[cr].deleted; }),
+                   learnts_.end());
+}
+
+// ---- main search ------------------------------------------------------------
+
+std::uint64_t Solver::luby(std::uint64_t x) {
+    // Luby sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... for x = 0, 1, 2, ...
+    // (port of the MiniSat reference implementation with base 2).
+    std::uint64_t size = 1, seq = 0;
+    while (size < x + 1) {
+        ++seq;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != x) {
+        size = (size - 1) >> 1;
+        --seq;
+        x %= size;
+    }
+    return 1ULL << seq;
+}
+
+bool Solver::budget_exhausted() const {
+    if (stats_.conflicts > budget_.max_conflicts) return true;
+    if (stats_.propagations > budget_.max_propagations) return true;
+    // Wall-clock checks are throttled by the caller (every 1024 conflicts).
+    return solve_timer_.seconds() > budget_.max_seconds;
+}
+
+Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
+    if (!ok_) return Result::Unsat;
+    solve_timer_.reset();
+    const Result r = search(assumptions);
+    // Always return at the root so the caller can add clauses incrementally.
+    backtrack_to(0);
+    return r;
+}
+
+Solver::Result Solver::search(const std::vector<Lit>& assumptions) {
+    backtrack_to(0);
+
+    const std::uint64_t restart_base = 128;
+    std::uint64_t restart_count = 0;
+    std::uint64_t conflicts_until_restart =
+        restart_base * (opts_.use_restarts ? luby(restart_count) : ~0ULL);
+    std::uint64_t conflicts_this_restart = 0;
+    std::uint64_t next_reduce = 4096;
+    std::uint64_t last_budget_check = 0;
+
+    while (true) {
+        const ClauseRef conflict = propagate();
+        if (conflict != kNoReason) {
+            ++stats_.conflicts;
+            ++conflicts_this_restart;
+            if (current_level() == 0) return Result::Unsat;
+
+            if (opts_.use_learning) {
+                Clause learnt;
+                int bt_level = 0;
+                analyze(conflict, learnt, bt_level);
+                // Never backtrack past the assumptions.
+                const int assume_level =
+                    std::min<int>(static_cast<int>(assumptions.size()), current_level() - 1);
+                if (bt_level < assume_level) {
+                    // The learnt clause is falsified within the assumption
+                    // prefix: check whether it contradicts the assumptions.
+                    // Standard treatment: backtrack to bt_level anyway; the
+                    // assumption re-seeding below restores the prefix.
+                }
+                backtrack_to(bt_level);
+                if (learnt.size() == 1) {
+                    if (value(learnt[0]) == LBool::False) return Result::Unsat;
+                    if (value(learnt[0]) == LBool::Undef) enqueue(learnt[0], kNoReason);
+                } else {
+                    const ClauseRef cref = alloc_clause(std::move(learnt), true);
+                    clauses_[cref].lbd = compute_lbd(clauses_[cref].lits);
+                    attach(cref);
+                    learnts_.push_back(cref);
+                    ++stats_.learnt_clauses;
+                    enqueue(clauses_[cref].lits[0], cref);
+                }
+                decay_var_activity();
+                decay_clause_activity();
+            } else {
+                // Chronological backtracking without learning.
+                if (current_level() <= static_cast<int>(assumptions.size()))
+                    return Result::Unsat;
+                const Lit flipped = trail_[static_cast<std::size_t>(
+                    trail_lim_.back())];
+                backtrack_to(current_level() - 1);
+                if (value(~flipped) == LBool::Undef)
+                    enqueue(~flipped, kNoReason);
+                else
+                    return Result::Unsat;
+            }
+
+            if (stats_.conflicts - last_budget_check >= 1024) {
+                last_budget_check = stats_.conflicts;
+                if (budget_exhausted()) return Result::Unknown;
+            }
+            if (opts_.use_restarts &&
+                conflicts_this_restart >= conflicts_until_restart) {
+                ++stats_.restarts;
+                ++restart_count;
+                conflicts_this_restart = 0;
+                conflicts_until_restart = restart_base * luby(restart_count);
+                backtrack_to(0);
+            }
+            if (opts_.use_learning && stats_.learnt_clauses >= next_reduce) {
+                next_reduce += next_reduce / 2;
+                reduce_learnt_db();
+            }
+            continue;
+        }
+
+        // No conflict: re-seed assumptions, then decide.
+        if (current_level() < static_cast<int>(assumptions.size())) {
+            const Lit a = assumptions[static_cast<std::size_t>(current_level())];
+            const LBool v = value(a);
+            if (v == LBool::True) {
+                new_decision_level();  // already satisfied; dummy level
+                continue;
+            }
+            if (v == LBool::False) return Result::Unsat;  // assumptions conflict
+            new_decision_level();
+            enqueue(a, kNoReason);
+            continue;
+        }
+
+        const Lit next = pick_branch_lit();
+        if (next == kUndefLit) {
+            // Full model found.
+            model_.assign(assign_.begin(), assign_.end());
+            backtrack_to(0);
+            return Result::Sat;
+        }
+        ++stats_.decisions;
+        new_decision_level();
+        enqueue(next, kNoReason);
+    }
+}
+
+}  // namespace gshe::sat

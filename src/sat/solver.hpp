@@ -1,0 +1,178 @@
+#pragma once
+// Conflict-driven clause-learning (CDCL) SAT solver.
+//
+// This is the engine underneath the paper's security study: the oracle-
+// guided SAT attack [8]/[37], Double DIP [12] and our SAT-based equivalence
+// checker all run on it. Architecture follows MiniSat: two-watched-literal
+// propagation, first-UIP conflict analysis with clause minimization, VSIDS
+// decision heuristic with phase saving, Luby restarts, and activity/LBD-
+// driven learnt-clause database reduction.
+//
+// Additions for this project:
+//  * solve() takes assumptions, enabling the incremental DIP loop without
+//    re-encoding the miter each iteration.
+//  * A resource budget (wall-clock seconds / conflicts / propagations);
+//    exceeding it returns Result::Unknown — exactly the "t-o" semantics of
+//    Table IV.
+//  * Feature toggles (VSIDS / restarts / learning / phase saving) for the
+//    solver-ablation benchmark.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "sat/types.hpp"
+
+namespace gshe::sat {
+
+class Solver {
+public:
+    enum class Result { Sat, Unsat, Unknown };
+
+    struct Options {
+        bool use_vsids = true;        ///< false: pick lowest-index unassigned var
+        bool use_restarts = true;     ///< Luby restarts (base 128 conflicts)
+        bool use_learning = true;     ///< false: backtrack one level, no learnt DB
+        bool use_phase_saving = true; ///< false: always decide negative first
+        double var_decay = 0.95;
+        double clause_decay = 0.999;
+    };
+
+    struct Budget {
+        double max_seconds = std::numeric_limits<double>::infinity();
+        std::uint64_t max_conflicts = std::numeric_limits<std::uint64_t>::max();
+        std::uint64_t max_propagations = std::numeric_limits<std::uint64_t>::max();
+    };
+
+    struct Stats {
+        std::uint64_t decisions = 0;
+        std::uint64_t propagations = 0;
+        std::uint64_t conflicts = 0;
+        std::uint64_t restarts = 0;
+        std::uint64_t learnt_clauses = 0;
+        std::uint64_t removed_clauses = 0;
+    };
+
+    Solver() = default;
+    explicit Solver(Options opts) : opts_(opts) {}
+
+    // ---- problem construction ----------------------------------------------
+    Var new_var();
+    int num_vars() const { return static_cast<int>(assign_.size()); }
+
+    /// Adds a clause. Returns false if the formula is already unsatisfiable
+    /// at the root level (empty clause or conflicting units).
+    bool add_clause(Clause c);
+    bool add_clause(Lit a) { return add_clause(Clause{a}); }
+    bool add_clause(Lit a, Lit b) { return add_clause(Clause{a, b}); }
+    bool add_clause(Lit a, Lit b, Lit c) { return add_clause(Clause{a, b, c}); }
+
+    std::size_t num_clauses() const { return clauses_.size() - free_list_guard_; }
+
+    // ---- solving -----------------------------------------------------------
+    Result solve() { return solve({}); }
+    Result solve(const std::vector<Lit>& assumptions);
+
+    /// Model value after Result::Sat (Undef for never-assigned vars).
+    LBool model_value(Var v) const { return model_.at(static_cast<std::size_t>(v)); }
+    bool model_bool(Var v) const { return model_value(v) == LBool::True; }
+
+    void set_budget(const Budget& b) { budget_ = b; }
+    const Stats& stats() const { return stats_; }
+    const Options& options() const { return opts_; }
+
+private:
+    struct ClauseData {
+        std::vector<Lit> lits;
+        double activity = 0.0;
+        std::int32_t lbd = 0;
+        bool learnt = false;
+        bool deleted = false;
+    };
+    using ClauseRef = std::uint32_t;
+    static constexpr ClauseRef kNoReason = std::numeric_limits<ClauseRef>::max();
+
+    struct Watcher {
+        ClauseRef cref;
+        Lit blocker;
+    };
+
+    // Assignment / trail.
+    LBool value(Lit l) const {
+        const LBool v = assign_[static_cast<std::size_t>(l.var())];
+        return l.negated() ? negate(v) : v;
+    }
+    LBool value(Var v) const { return assign_[static_cast<std::size_t>(v)]; }
+    int level_of(Var v) const { return level_[static_cast<std::size_t>(v)]; }
+    int current_level() const { return static_cast<int>(trail_lim_.size()); }
+
+    void enqueue(Lit l, ClauseRef reason);
+    ClauseRef propagate();
+    void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+    void backtrack_to(int level);
+
+    // Conflict analysis.
+    void analyze(ClauseRef conflict, Clause& learnt, int& backtrack_level);
+    bool literal_redundant(Lit l, std::uint32_t abstract_levels);
+    std::int32_t compute_lbd(const Clause& c);
+
+    // Decision heuristic.
+    void bump_var(Var v);
+    void decay_var_activity() { var_inc_ /= opts_.var_decay; }
+    void bump_clause(ClauseData& c);
+    void decay_clause_activity() { cla_inc_ /= opts_.clause_decay; }
+    Lit pick_branch_lit();
+    void heap_insert(Var v);
+    Var heap_pop();
+    void heap_up(int i);
+    void heap_down(int i);
+    bool heap_contains(Var v) const { return heap_pos_[static_cast<std::size_t>(v)] >= 0; }
+
+    // Clause management.
+    ClauseRef alloc_clause(Clause lits, bool learnt);
+    void attach(ClauseRef cref);
+    void detach(ClauseRef cref);
+    void reduce_learnt_db();
+    bool clause_locked(ClauseRef cref) const;
+
+    bool budget_exhausted() const;
+    static std::uint64_t luby(std::uint64_t i);
+
+    Options opts_;
+    Budget budget_;
+    Stats stats_;
+    Timer solve_timer_;
+
+    std::vector<ClauseData> clauses_;
+    std::vector<ClauseRef> learnts_;
+    std::size_t free_list_guard_ = 0;  // count of deleted-but-not-compacted
+
+    std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::code()
+    std::vector<LBool> assign_;
+    std::vector<ClauseRef> reason_;
+    std::vector<int> level_;
+    std::vector<Lit> trail_;
+    std::vector<int> trail_lim_;
+    std::size_t qhead_ = 0;
+
+    std::vector<double> activity_;
+    std::vector<int> heap_;      // binary max-heap of vars
+    std::vector<int> heap_pos_;  // var -> index in heap_, -1 if absent
+    std::vector<char> polarity_; // saved phase (1 = last assigned true)
+    double var_inc_ = 1.0;
+    double cla_inc_ = 1.0;
+
+    // analyze() scratch.
+    std::vector<char> seen_;
+    std::vector<Lit> analyze_stack_;
+    std::vector<Lit> analyze_clear_;
+
+    std::vector<LBool> model_;  // snapshot of the last satisfying assignment
+
+    Result search(const std::vector<Lit>& assumptions);
+
+    bool ok_ = true;  // false once root-level conflict is proven
+};
+
+}  // namespace gshe::sat

@@ -1,0 +1,178 @@
+#include "sat/tseitin.hpp"
+
+#include <stdexcept>
+
+namespace gshe::sat {
+namespace {
+
+using netlist::CellType;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::kNoGate;
+
+/// Clause literal asserting "var != value" (i.e. the row guard).
+Lit guard(Var v, bool value) { return Lit(v, value); }
+/// Clause literal asserting "var == value".
+Lit equal(Var v, bool value) { return Lit(v, !value); }
+
+void encode_plain_gate(Solver& s, core::Bool2 fn, Var a, Var b, Var out) {
+    for (int va = 0; va < 2; ++va)
+        for (int vb = 0; vb < 2; ++vb) {
+            const bool f = fn.eval(va != 0, vb != 0);
+            if (b == kNoVar) {
+                if (vb == 1) continue;  // single-input: one clause per a-value
+                s.add_clause(guard(a, va != 0), equal(out, f));
+            } else {
+                s.add_clause(guard(a, va != 0), guard(b, vb != 0), equal(out, f));
+            }
+        }
+}
+
+void encode_camo_gate(Solver& s, const netlist::CamoCell& cell, Var a, Var b,
+                      Var out, const std::vector<Var>& key_bits) {
+    const std::size_t k = cell.candidates.size();
+    const int bits = cell.key_bits();
+    // Row clauses guarded by the key code.
+    for (std::size_t c = 0; c < k; ++c) {
+        Clause selector;
+        for (int j = 0; j < bits; ++j) {
+            const bool bit = ((c >> j) & 1) != 0;
+            selector.push_back(guard(key_bits[static_cast<std::size_t>(j)], bit));
+        }
+        const core::Bool2 fn = cell.candidates[c];
+        for (int va = 0; va < 2; ++va)
+            for (int vb = 0; vb < 2; ++vb) {
+                Clause cl = selector;
+                cl.push_back(guard(a, va != 0));
+                if (b != kNoVar) cl.push_back(guard(b, vb != 0));
+                cl.push_back(equal(out, fn.eval(va != 0, vb != 0)));
+                s.add_clause(std::move(cl));
+                if (b == kNoVar) break;  // single-input: ignore vb
+            }
+    }
+    // Forbid unused key codes.
+    for (std::size_t c = k; c < (std::size_t{1} << bits); ++c) {
+        Clause cl;
+        for (int j = 0; j < bits; ++j)
+            cl.push_back(guard(key_bits[static_cast<std::size_t>(j)], ((c >> j) & 1) != 0));
+        s.add_clause(std::move(cl));
+    }
+}
+
+}  // namespace
+
+CircuitEncoding encode_circuit(Solver& solver, const netlist::Netlist& nl,
+                               const std::vector<Var>& shared_pis,
+                               const std::vector<Var>& shared_keys) {
+    if (!nl.dffs().empty())
+        throw std::invalid_argument(
+            "encode_circuit: netlist is sequential; apply unroll_for_scan first");
+    if (!shared_pis.empty() && shared_pis.size() != nl.inputs().size())
+        throw std::invalid_argument("encode_circuit: shared_pis size mismatch");
+
+    CircuitEncoding enc;
+    enc.gates.assign(nl.size(), kNoVar);
+
+    // Primary inputs.
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+        const Var v = shared_pis.empty() ? solver.new_var() : shared_pis[i];
+        enc.pis.push_back(v);
+        enc.gates[nl.inputs()[i]] = v;
+    }
+
+    // Key variables, one block per camo cell.
+    int total_key_bits = 0;
+    for (const netlist::CamoCell& c : nl.camo_cells()) {
+        enc.key_offset.push_back(total_key_bits);
+        total_key_bits += c.key_bits();
+    }
+    if (!shared_keys.empty() &&
+        shared_keys.size() != static_cast<std::size_t>(total_key_bits))
+        throw std::invalid_argument("encode_circuit: shared_keys size mismatch");
+    for (int i = 0; i < total_key_bits; ++i)
+        enc.keys.push_back(shared_keys.empty() ? solver.new_var()
+                                               : shared_keys[static_cast<std::size_t>(i)]);
+
+    for (GateId id : nl.topological_order()) {
+        const Gate& g = nl.gate(id);
+        switch (g.type) {
+            case CellType::Input:
+                break;
+            case CellType::Dff:
+                throw std::logic_error("encode_circuit: unexpected DFF");
+            case CellType::Const0:
+            case CellType::Const1: {
+                const Var v = solver.new_var();
+                fix_var(solver, v, g.type == CellType::Const1);
+                enc.gates[id] = v;
+                break;
+            }
+            case CellType::Logic: {
+                const Var out = solver.new_var();
+                enc.gates[id] = out;
+                const Var a = enc.gates[g.a];
+                const Var b = g.b == kNoGate ? kNoVar : enc.gates[g.b];
+                if (g.is_camouflaged()) {
+                    const auto& cell =
+                        nl.camo_cells()[static_cast<std::size_t>(g.camo_index)];
+                    const int off = enc.key_offset[static_cast<std::size_t>(g.camo_index)];
+                    std::vector<Var> kb(
+                        enc.keys.begin() + off,
+                        enc.keys.begin() + off + cell.key_bits());
+                    encode_camo_gate(solver, cell, a, b, out, kb);
+                } else {
+                    encode_plain_gate(solver, g.fn, a, b, out);
+                }
+                break;
+            }
+        }
+    }
+
+    for (const netlist::PortRef& po : nl.outputs())
+        enc.outs.push_back(enc.gates[po.gate]);
+    return enc;
+}
+
+Var add_xor(Solver& solver, Var a, Var b) {
+    const Var y = solver.new_var();
+    solver.add_clause(Lit(a, true), Lit(b, true), Lit(y, true));
+    solver.add_clause(Lit(a, false), Lit(b, false), Lit(y, true));
+    solver.add_clause(Lit(a, true), Lit(b, false), Lit(y, false));
+    solver.add_clause(Lit(a, false), Lit(b, true), Lit(y, false));
+    return y;
+}
+
+Var add_or(Solver& solver, const std::vector<Var>& xs) {
+    const Var y = solver.new_var();
+    if (xs.empty()) {
+        fix_var(solver, y, false);
+        return y;
+    }
+    Clause big;
+    for (Var x : xs) {
+        solver.add_clause(Lit(x, true), Lit(y, false));  // x -> y
+        big.push_back(Lit(x, false));
+    }
+    big.push_back(Lit(y, true));  // y -> some x
+    solver.add_clause(std::move(big));
+    return y;
+}
+
+void fix_var(Solver& solver, Var v, bool value) {
+    solver.add_clause(Lit(v, !value));
+}
+
+std::vector<Var> add_difference(Solver& solver, const std::vector<Var>& a,
+                                const std::vector<Var>& b) {
+    if (a.size() != b.size())
+        throw std::invalid_argument("add_difference: size mismatch");
+    std::vector<Var> diffs;
+    diffs.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        diffs.push_back(add_xor(solver, a[i], b[i]));
+    const Var any = add_or(solver, diffs);
+    solver.add_clause(Lit(any, false));
+    return diffs;
+}
+
+}  // namespace gshe::sat

@@ -1,0 +1,54 @@
+#pragma once
+// Tseitin encoding of (camouflaged) netlists into CNF.
+//
+// A plain gate out = f(a, b) contributes one clause per truth-table row:
+//   (a != va) or (b != vb) or (out == f(va, vb)).
+//
+// A camouflaged gate with candidate set {f_0..f_{k-1}} gets ceil(log2 k)
+// fresh *key variables*; for each candidate c and each row, the row clause
+// is guarded by "key == c". Unused key codes (k not a power of two) are
+// forbidden outright. For the proposed 16-function GSHE primitive the four
+// key bits are literally the gate's truth table — the densest possible key
+// space, which is what drives the Table IV results.
+//
+// The encoder can instantiate the same netlist several times into one
+// solver with shared primary-input variables and distinct key variables —
+// the construction every oracle-guided attack miter needs.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace gshe::sat {
+
+/// Variable map of one circuit instance inside a solver.
+struct CircuitEncoding {
+    std::vector<Var> pis;    ///< one var per primary input (netlist order)
+    std::vector<Var> outs;   ///< one var per primary output
+    std::vector<Var> keys;   ///< key vars, concatenated per camo cell
+    std::vector<Var> gates;  ///< var of every gate output (by GateId)
+    /// Offset of each camo cell's key bits within `keys`.
+    std::vector<int> key_offset;
+};
+
+/// Encodes one instance of `nl`. If `shared_pis` is non-empty it must list
+/// one existing variable per primary input, which the instance will reuse.
+/// If `shared_keys` is non-empty the instance reuses those key variables.
+/// The netlist must be combinational (use unroll_for_scan first).
+CircuitEncoding encode_circuit(Solver& solver, const netlist::Netlist& nl,
+                               const std::vector<Var>& shared_pis = {},
+                               const std::vector<Var>& shared_keys = {});
+
+/// y = a XOR b as a fresh variable.
+Var add_xor(Solver& solver, Var a, Var b);
+/// y = OR of `xs` as a fresh variable (false literal for empty input).
+Var add_or(Solver& solver, const std::vector<Var>& xs);
+/// Adds clauses forcing variable `v` to the given constant.
+void fix_var(Solver& solver, Var v, bool value);
+/// Adds clauses forcing a != b for at least one position (vectors differ).
+/// Returns the per-position difference variables.
+std::vector<Var> add_difference(Solver& solver, const std::vector<Var>& a,
+                                const std::vector<Var>& b);
+
+}  // namespace gshe::sat

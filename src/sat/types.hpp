@@ -1,0 +1,52 @@
+#pragma once
+// Core SAT types: variables, literals, clauses.
+//
+// Conventions follow MiniSat: a variable is a dense non-negative index; a
+// literal packs (variable, sign) as var*2 + sign with sign 1 = negated.
+
+#include <cstdint>
+#include <vector>
+
+namespace gshe::sat {
+
+using Var = std::int32_t;
+inline constexpr Var kNoVar = -1;
+
+/// A literal: variable with polarity. Lit(v, false) is the positive literal.
+class Lit {
+public:
+    constexpr Lit() = default;
+    constexpr Lit(Var v, bool negated) : code_(v * 2 + (negated ? 1 : 0)) {}
+
+    constexpr Var var() const { return code_ >> 1; }
+    constexpr bool negated() const { return (code_ & 1) != 0; }
+    constexpr Lit operator~() const { return from_code(code_ ^ 1); }
+    constexpr std::int32_t code() const { return code_; }
+
+    static constexpr Lit from_code(std::int32_t c) {
+        Lit l;
+        l.code_ = c;
+        return l;
+    }
+
+    friend constexpr bool operator==(Lit, Lit) = default;
+    friend constexpr bool operator<(Lit a, Lit b) { return a.code_ < b.code_; }
+
+private:
+    std::int32_t code_ = -2;
+};
+
+inline constexpr Lit kUndefLit = Lit::from_code(-2);
+
+/// Ternary assignment value.
+enum class LBool : std::int8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool lbool_of(bool b) { return b ? LBool::True : LBool::False; }
+inline LBool negate(LBool v) {
+    if (v == LBool::Undef) return v;
+    return v == LBool::True ? LBool::False : LBool::True;
+}
+
+using Clause = std::vector<Lit>;
+
+}  // namespace gshe::sat

@@ -1,0 +1,33 @@
+#include "sidechannel/em_imaging.hpp"
+
+#include <cmath>
+
+namespace gshe::sidechannel {
+
+double cells_per_spot(const EmImagingModel& m) {
+    const double spot_area = m.resolution * m.resolution;
+    const double cell_area = m.cell_width * m.cell_height;
+    return std::max(1.0, spot_area / cell_area);
+}
+
+double cell_read_success(const EmImagingModel& m) {
+    if (m.repoly_interval <= 0.0) return 0.0;
+    // Re-assignments as Poisson arrivals with the given mean interval; a
+    // clean read requires zero arrivals in the dwell window, and the state
+    // must be unambiguous within the resolution spot.
+    const double p_stable = std::exp(-m.dwell_per_cell / m.repoly_interval);
+    const double p_resolved = 1.0 / cells_per_spot(m);
+    return p_stable * p_resolved;
+}
+
+double chip_read_success(const EmImagingModel& m, std::size_t n_cells) {
+    const double p = cell_read_success(m);
+    if (p <= 0.0) return 0.0;
+    return std::exp(static_cast<double>(n_cells) * std::log(p));
+}
+
+double total_read_time(const EmImagingModel& m, std::size_t n_cells) {
+    return m.dwell_per_cell * static_cast<double>(n_cells);
+}
+
+}  // namespace gshe::sidechannel

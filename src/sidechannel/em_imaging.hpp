@@ -1,0 +1,43 @@
+#pragma once
+// Electron-microscopy read-out model (Sec. V-C, "Layout identification and
+// read-out attacks").
+//
+// Courbon et al. [16] read memory cells with an SEM at ~50 ns per pixel.
+// The paper's two counter-arguments are modeled quantitatively:
+//  1. Spatial resolution: the GSHE cell (32 x 50 nm) is far below the
+//     capture grid of CMOS-era imaging flows; multiple devices fall into one
+//     resolution spot and their states are ambiguous.
+//  2. Runtime polymorphism: with chip-level polymorphism the function of a
+//     cell is re-assigned every `repoly_interval`; any cell whose dwell
+//     window overlaps a re-assignment is misread — and at 50 ns/pixel vs
+//     1.55 ns switching this is nearly every cell.
+
+#include <cstddef>
+
+namespace gshe::sidechannel {
+
+struct EmImagingModel {
+    double dwell_per_cell = 50e-9;     ///< SEM read time per cell [s] [16]
+    double resolution = 10e-9;         ///< imaging spot edge [m]
+    double cell_width = 32e-9;         ///< GSHE cell layout [m]
+    double cell_height = 50e-9;
+    double repoly_interval = 100e-9;   ///< mean time between function swaps [s]
+};
+
+/// Number of cells sharing one resolution spot (>= 1; ambiguity factor).
+double cells_per_spot(const EmImagingModel& m);
+
+/// Probability one cell is read without a re-assignment landing in its
+/// dwell window (Poisson arrivals: exp(-dwell/interval)).
+double cell_read_success(const EmImagingModel& m);
+
+/// Probability all `n_cells` reads are clean AND unambiguous — the paper's
+/// "virtually impossible to resolve all dynamic features on full-chip
+/// scale at once".
+double chip_read_success(const EmImagingModel& m, std::size_t n_cells);
+
+/// Total imaging time for n cells [s] — compared against how many function
+/// re-assignments occur meanwhile.
+double total_read_time(const EmImagingModel& m, std::size_t n_cells);
+
+}  // namespace gshe::sidechannel

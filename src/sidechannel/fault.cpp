@@ -1,0 +1,89 @@
+#include "sidechannel/fault.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "netlist/simulator.hpp"
+
+namespace gshe::sidechannel {
+
+using netlist::CellType;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::kNoGate;
+using netlist::Netlist;
+using netlist::Simulator;
+
+std::vector<std::uint64_t> simulate_with_faults(
+    const Netlist& nl, const std::vector<StuckAtFault>& faults,
+    const std::vector<std::uint64_t>& pi_words) {
+    if (pi_words.size() != nl.inputs().size())
+        throw std::invalid_argument("simulate_with_faults: wrong input count");
+
+    std::vector<int> fault_at(nl.size(), -1);  // -1 none, 0 sa0, 1 sa1
+    for (const StuckAtFault& f : faults) {
+        if (f.gate >= nl.size())
+            throw std::out_of_range("simulate_with_faults: bad gate id");
+        fault_at[f.gate] = f.stuck_value ? 1 : 0;
+    }
+
+    std::vector<std::uint64_t> value(nl.size(), 0);
+    for (std::size_t i = 0; i < pi_words.size(); ++i)
+        value[nl.inputs()[i]] = pi_words[i];
+
+    auto apply_fault = [&](GateId id) {
+        if (fault_at[id] == 0) value[id] = 0;
+        if (fault_at[id] == 1) value[id] = ~std::uint64_t{0};
+    };
+    for (GateId id : nl.inputs()) apply_fault(id);
+
+    for (GateId id : nl.topological_order()) {
+        const Gate& g = nl.gate(id);
+        switch (g.type) {
+            case CellType::Input:
+            case CellType::Dff:
+                break;
+            case CellType::Const0:
+                value[id] = 0;
+                break;
+            case CellType::Const1:
+                value[id] = ~std::uint64_t{0};
+                break;
+            case CellType::Logic: {
+                const std::uint64_t a = value[g.a];
+                const std::uint64_t b = g.b == kNoGate ? 0 : value[g.b];
+                value[id] = Simulator::eval_word(g.fn, a, b);
+                break;
+            }
+        }
+        apply_fault(id);
+    }
+
+    std::vector<std::uint64_t> out;
+    out.reserve(nl.outputs().size());
+    for (const netlist::PortRef& po : nl.outputs()) out.push_back(value[po.gate]);
+    return out;
+}
+
+double fault_output_error_rate(const Netlist& nl,
+                               const std::vector<StuckAtFault>& faults,
+                               std::size_t patterns, std::uint64_t seed) {
+    Simulator sim(nl);
+    Rng rng(seed ^ 0xfa017ULL);
+    const std::size_t words = (patterns + 63) / 64;
+    std::uint64_t mismatched = 0, total = 0;
+    std::vector<std::uint64_t> pi(nl.inputs().size());
+    for (std::size_t w = 0; w < words; ++w) {
+        for (auto& word : pi) word = rng();
+        const auto good = sim.run(pi);
+        const auto bad = simulate_with_faults(nl, faults, pi);
+        std::uint64_t diff = 0;
+        for (std::size_t o = 0; o < good.size(); ++o) diff |= good[o] ^ bad[o];
+        mismatched += static_cast<std::uint64_t>(__builtin_popcountll(diff));
+        total += 64;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(mismatched) / static_cast<double>(total);
+}
+
+}  // namespace gshe::sidechannel

@@ -1,0 +1,30 @@
+#pragma once
+// Stuck-at fault injection and fault simulation on gate-level netlists.
+// Substrate for the magnetic-probe attack model (a magnetic probe over a
+// spin device manifests as a stuck-at fault at that gate's output) and
+// reusable as a generic testability tool.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gshe::sidechannel {
+
+struct StuckAtFault {
+    netlist::GateId gate = netlist::kNoGate;
+    bool stuck_value = false;
+};
+
+/// Fraction of random input patterns on which the faulty circuit's outputs
+/// differ from the fault-free circuit (fault observability). 64-way packed.
+double fault_output_error_rate(const netlist::Netlist& nl,
+                               const std::vector<StuckAtFault>& faults,
+                               std::size_t patterns, std::uint64_t seed);
+
+/// Simulates the circuit with the given faults applied, 64 packed patterns.
+std::vector<std::uint64_t> simulate_with_faults(
+    const netlist::Netlist& nl, const std::vector<StuckAtFault>& faults,
+    const std::vector<std::uint64_t>& pi_words);
+
+}  // namespace gshe::sidechannel

@@ -1,0 +1,61 @@
+#pragma once
+// Magnetic-probe fault-injection model (Sec. V-C, "Magnetic and temperature
+// attacks").
+//
+// An attacker with a magnetic probe can flip nanomagnets (stuck-at faults),
+// but the paper argues such faults are "hardly controllable": the probe
+// field extends over many devices (probe tips are micrometers, device pitch
+// tens of nanometers), the required field depends on each device's state
+// and orientation, and collateral flips swamp the targeted one. We model a
+// probe as a dipole field over a grid of GSHE cells, derive which devices
+// flip (Stoner-Wohlfarth threshold), and feed the resulting multi-fault set
+// into the stuck-at fault simulator to quantify how "sensitization" attacks
+// in the spirit of [2] degrade.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sidechannel/fault.hpp"
+
+namespace gshe::sidechannel {
+
+struct MagneticProbeModel {
+    double probe_field = 1.6e5;     ///< field at the probe tip [A/m]
+    double probe_radius = 0.5e-6;   ///< effective tip radius [m]
+    double device_pitch = 120e-9;   ///< center-to-center cell spacing [m]
+    double switching_field = 8e4;   ///< device coercive field H_k,eff [A/m]
+    /// Fraction of in-range devices whose instantaneous state/orientation
+    /// makes them actually flip (state-dependence of the threshold).
+    double flip_susceptibility = 0.5;
+};
+
+/// Field magnitude at lateral distance d from the probe axis: dipole-like
+/// decay H0 * r^3 / (r^2 + d^2)^(3/2).
+double probe_field_at(const MagneticProbeModel& m, double distance);
+
+/// Radius within which the probe field exceeds the switching threshold.
+double effective_flip_radius(const MagneticProbeModel& m);
+
+/// Expected number of collateral devices flipped by one probe placement.
+double expected_collateral_faults(const MagneticProbeModel& m);
+
+/// Probability that a placement flips the target and nothing else — the
+/// controllability figure that decides whether sensitization is practical.
+double clean_single_fault_probability(const MagneticProbeModel& m,
+                                      std::uint64_t seed, std::size_t trials);
+
+/// Full experiment: place the probe over a random camouflaged gate of `nl`,
+/// flip every in-range device (by netlist proximity proxy: gate-id
+/// neighborhood scaled to the pitch), and measure output corruption.
+struct MagneticAttackResult {
+    double mean_faults_per_shot = 0.0;
+    double mean_output_error = 0.0;     ///< corruption across all POs
+    double single_fault_shots = 0.0;    ///< fraction of shots with exactly 1 fault
+};
+MagneticAttackResult magnetic_fault_campaign(const netlist::Netlist& nl,
+                                             const MagneticProbeModel& m,
+                                             std::size_t shots,
+                                             std::uint64_t seed);
+
+}  // namespace gshe::sidechannel

@@ -1,0 +1,55 @@
+#include "sidechannel/temperature.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "spin/constants.hpp"
+
+namespace gshe::sidechannel {
+
+double RetentionModel::energy_barrier() const {
+    const spin::Nanomagnet& nm = device.write_nm;
+    const double v = nm.volume();
+    // Crystalline uniaxial barrier.
+    double e = nm.ku * v;
+    // In-plane shape anisotropy barrier (easy x vs hard-in-plane y).
+    e += 0.5 * spin::kMu0 * nm.ms * nm.ms * v * (nm.demag_n.y - nm.demag_n.x);
+    // Dipolar stabilization by the read magnet (anti-parallel pair): flipping
+    // W alone costs 2 * mu0 * Ms V * H_dip.
+    const double r3 = std::pow(device.stack_separation, 3.0);
+    const double h_dip = device.read_nm.ms * device.read_nm.volume() /
+                         (4.0 * std::numbers::pi * r3);
+    e += 2.0 * spin::kMu0 * nm.ms * v * h_dip;
+    return e;
+}
+
+double RetentionModel::thermal_stability(double temperature_k) const {
+    return energy_barrier() / (spin::kBoltzmann * temperature_k);
+}
+
+double RetentionModel::retention_time(double temperature_k) const {
+    return attempt_time * std::exp(thermal_stability(temperature_k));
+}
+
+double RetentionModel::survival_probability(double temperature_k,
+                                            double duration) const {
+    return std::exp(-duration / retention_time(temperature_k));
+}
+
+double flip_time_cv(const RetentionModel& m, double temperature_k,
+                    std::size_t trials, std::uint64_t seed) {
+    const double tau = m.retention_time(temperature_k);
+    Rng rng(seed ^ 0x7e39eULL);
+    RunningStats stats;
+    for (std::size_t t = 0; t < trials; ++t) {
+        // Inverse-CDF sample of the exponential flip process.
+        double u = rng.uniform();
+        while (u <= 0.0) u = rng.uniform();
+        stats.add(-tau * std::log(u));
+    }
+    return stats.mean() > 0.0 ? stats.stddev() / stats.mean() : 0.0;
+}
+
+}  // namespace gshe::sidechannel

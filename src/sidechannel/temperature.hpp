@@ -1,0 +1,40 @@
+#pragma once
+// Temperature-attack model (Sec. V-C): "the retention time of the switch
+// will be impacted. The resulting disturbances, however, are likely
+// stochastic due to the inherent thermal noise in the nanomagnets."
+//
+// Retention follows the Neel-Arrhenius law tau(T) = tau0 * exp(Delta(T))
+// with Delta = E_barrier / kB T, E_barrier the total in-plane reversal
+// barrier (crystalline Ku V plus shape anisotropy plus dipolar
+// stabilization). An attacker heating the chip shortens tau — but the
+// resulting bit flips arrive as a Poisson process over the whole device
+// population: exponentially distributed, unlocalized, uncontrollable.
+
+#include <cstdint>
+
+#include "core/gshe_switch.hpp"
+
+namespace gshe::sidechannel {
+
+struct RetentionModel {
+    core::GsheSwitchParams device{};
+    double attempt_time = 1e-9;  ///< Neel attempt period tau0 [s]
+
+    /// Total energy barrier separating the two stored states [J].
+    double energy_barrier() const;
+    /// Barrier in units of kB*T at the given temperature.
+    double thermal_stability(double temperature_k) const;
+    /// Retention time tau(T) [s].
+    double retention_time(double temperature_k) const;
+    /// Probability the stored state survives `duration` at temperature T.
+    double survival_probability(double temperature_k, double duration) const;
+};
+
+/// Monte-Carlo check that flip times are exponentially distributed (the
+/// "stochastic, not controllable" argument): returns the ratio of the
+/// sample standard deviation to the sample mean of flip times, which is
+/// 1.0 for an exponential distribution.
+double flip_time_cv(const RetentionModel& m, double temperature_k,
+                    std::size_t trials, std::uint64_t seed);
+
+}  // namespace gshe::sidechannel

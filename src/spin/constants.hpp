@@ -1,0 +1,20 @@
+#pragma once
+// Physical constants (SI, CODATA 2018) used by the macrospin models.
+
+namespace gshe::spin {
+
+/// Vacuum permeability mu_0 [T*m/A].
+inline constexpr double kMu0 = 1.25663706212e-6;
+/// Reduced Planck constant [J*s].
+inline constexpr double kHbar = 1.054571817e-34;
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+/// Electron gyromagnetic ratio [rad/(s*T)]. The LLG precession prefactor is
+/// gamma * mu0 when the field is expressed in A/m.
+inline constexpr double kGyromagneticRatio = 1.76085963023e11;
+/// Room temperature [K] assumed throughout the paper's analysis.
+inline constexpr double kRoomTemperature = 300.0;
+
+}  // namespace gshe::spin

@@ -1,0 +1,20 @@
+#pragma once
+// Demagnetization factors of a uniformly magnetized rectangular prism.
+//
+// We evaluate Aharoni's closed-form expression (A. Aharoni, "Demagnetizing
+// factors for rectangular ferromagnetic prisms", J. Appl. Phys. 83, 3432
+// (1998)). The three factors (Nx, Ny, Nz) describe the shape-anisotropy field
+// H_demag = -Ms * diag(N) * m of the nanomagnets in the GSHE switch; for the
+// paper's 28 x 15 x 2 nm magnets the thin-film z factor dominates, which
+// makes the magnetization in-plane with the long (x) axis easy — exactly the
+// bistable axis the switch stores its bit on.
+
+#include "common/vec3.hpp"
+
+namespace gshe::spin {
+
+/// Returns (Nx, Ny, Nz) for a prism with full edge lengths (lx, ly, lz) in
+/// meters. The factors are positive and sum to 1 (checked in tests).
+Vec3 prism_demag_factors(double lx, double ly, double lz);
+
+}  // namespace gshe::spin

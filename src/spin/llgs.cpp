@@ -1,0 +1,202 @@
+#include "spin/llgs.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "spin/thermal.hpp"
+
+namespace gshe::spin {
+
+LlgsSystem::LlgsSystem(std::vector<Nanomagnet> magnets)
+    : magnets_(std::move(magnets)) {
+    if (magnets_.empty())
+        throw std::invalid_argument("LlgsSystem: need at least one magnet");
+    const std::size_t n = magnets_.size();
+    m_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) m_[i] = magnets_[i].easy_axis;
+    torques_.resize(n);
+    coupling_.assign(n * n, 0.0);
+    scratch_m_.resize(n);
+    scratch_k1_.resize(n);
+    scratch_k2_.resize(n);
+    scratch_k3_.resize(n);
+    scratch_k4_.resize(n);
+    scratch_h_.resize(n);
+}
+
+void LlgsSystem::set_m(std::size_t i, const Vec3& v) {
+    m_.at(i) = normalized(v);
+}
+
+void LlgsSystem::set_coupling(std::size_t i, std::size_t j, double j_ij) {
+    if (i == j) throw std::invalid_argument("set_coupling: self-coupling");
+    coupling_.at(i * size() + j) = j_ij;
+}
+
+void LlgsSystem::couple_dipolar_pair(std::size_t i, std::size_t j,
+                                     double distance) {
+    if (distance <= 0.0)
+        throw std::invalid_argument("couple_dipolar_pair: distance must be > 0");
+    const double r3 = distance * distance * distance;
+    const double four_pi = 4.0 * std::numbers::pi;
+    // Magnet i sees the moment of magnet j and vice versa. For stacked
+    // in-plane magnets the transverse point-dipole field is -mu/(4 pi r^3),
+    // i.e. antiferromagnetic coupling, matching footnote 1 of the paper.
+    set_coupling(i, j, magnets_[j].ms * magnets_[j].volume() / (four_pi * r3));
+    set_coupling(j, i, magnets_[i].ms * magnets_[i].volume() / (four_pi * r3));
+}
+
+void LlgsSystem::set_torque(std::size_t i, const SpinTorque& t) {
+    torques_.at(i) = t;
+    if (t.spin_current != 0.0)
+        torques_.at(i).polarization = normalized(t.polarization);
+}
+
+double LlgsSystem::stt_field_magnitude(std::size_t i) const {
+    const Nanomagnet& nm = magnets_.at(i);
+    return kHbar * std::abs(torques_[i].spin_current) /
+           (2.0 * kElementaryCharge * kMu0 * nm.ms * nm.volume());
+}
+
+Vec3 LlgsSystem::effective_field(std::size_t i,
+                                 const std::vector<Vec3>& m) const {
+    const Nanomagnet& nm = magnets_[i];
+    // Uniaxial anisotropy: Hk (m.e) e.
+    Vec3 h = nm.anisotropy_field() * dot(m[i], nm.easy_axis) * nm.easy_axis;
+    // Shape anisotropy: -Ms N (diagonal) m.
+    h -= nm.ms * hadamard(nm.demag_n, m[i]);
+    // Linear couplings to the other magnets.
+    for (std::size_t j = 0; j < size(); ++j) {
+        const double c = coupling_[i * size() + j];
+        if (c != 0.0) h -= c * m[j];
+    }
+    h += h_applied_;
+    return h;
+}
+
+Vec3 LlgsSystem::rhs(std::size_t i, const std::vector<Vec3>& m,
+                     const std::vector<Vec3>& h_thermal) const {
+    const Nanomagnet& nm = magnets_[i];
+    const double alpha = nm.alpha;
+    const double pref = -kGyromagneticRatio * kMu0 / (1.0 + alpha * alpha);
+
+    const SpinTorque& t = torques_[i];
+    Vec3 h = effective_field(i, m) + h_thermal[i];
+    double aj = 0.0;
+    if (t.spin_current != 0.0) {
+        aj = stt_field_magnitude(i) * (t.spin_current > 0.0 ? 1.0 : -1.0);
+        // The field-like component acts exactly like an applied field.
+        if (t.field_like_ratio != 0.0)
+            h += (t.field_like_ratio * aj) * t.polarization;
+    }
+
+    const Vec3 mxh = cross(m[i], h);
+    Vec3 dmdt = pref * (mxh + alpha * cross(m[i], mxh));
+
+    if (aj != 0.0) {
+        const Vec3 hs = aj * t.polarization;
+        const Vec3 mxhs = cross(m[i], hs);
+        dmdt += pref * (cross(m[i], mxhs) - alpha * mxhs);
+    }
+    return dmdt;
+}
+
+void LlgsSystem::derivatives(const std::vector<Vec3>& m,
+                             const std::vector<Vec3>& h_thermal,
+                             std::vector<Vec3>& out) const {
+    for (std::size_t i = 0; i < size(); ++i) out[i] = rhs(i, m, h_thermal);
+}
+
+void LlgsSystem::sample_thermal_equilibrium(Rng& rng) {
+    if (temperature_ <= 0.0) return;
+    for (std::size_t i = 0; i < size(); ++i) {
+        const Nanomagnet& nm = magnets_[i];
+        const Vec3 e = m_[i];  // equilibrium direction (±easy axis)
+        // Orthonormal transverse frame.
+        const Vec3 seed = std::abs(e.z) < 0.9 ? Vec3{0, 0, 1} : Vec3{0, 1, 0};
+        const Vec3 u = normalized(cross(e, seed));
+        const Vec3 v = cross(e, u);
+
+        // Curvature (stiffness) field of each transverse mode.
+        auto demag_quad = [&](const Vec3& d) { return dot(d, hadamard(nm.demag_n, d)); };
+        const double axis_align = dot(e, nm.easy_axis);
+        const double hk = nm.anisotropy_field() * axis_align * axis_align;
+        double coupling_field = 0.0;
+        for (std::size_t j = 0; j < size(); ++j) {
+            const double c = coupling_[i * size() + j];
+            if (c != 0.0) coupling_field += -c * dot(m_[j], e);
+        }
+        const double h_base = hk + coupling_field + dot(h_applied_, e);
+        const double h_u = h_base + nm.ms * (demag_quad(u) - demag_quad(e));
+        const double h_v = h_base + nm.ms * (demag_quad(v) - demag_quad(e));
+
+        const double kt = kBoltzmann * temperature_;
+        const double mu_ms_v = kMu0 * nm.ms * nm.volume();
+        const double sigma_u = h_u > 0.0 ? std::sqrt(kt / (mu_ms_v * h_u)) : 0.0;
+        const double sigma_v = h_v > 0.0 ? std::sqrt(kt / (mu_ms_v * h_v)) : 0.0;
+        m_[i] = normalized(e + rng.gaussian(0.0, sigma_u) * u +
+                           rng.gaussian(0.0, sigma_v) * v);
+    }
+}
+
+void LlgsSystem::step_heun(double dt, Rng& rng) {
+    const std::size_t n = size();
+    // One thermal-field realization per step, shared by both stages
+    // (Stratonovich-consistent Heun scheme).
+    for (std::size_t i = 0; i < n; ++i)
+        scratch_h_[i] = temperature_ > 0.0
+                            ? sample_thermal_field(magnets_[i], temperature_, dt, rng)
+                            : Vec3{};
+
+    derivatives(m_, scratch_h_, scratch_k1_);
+    for (std::size_t i = 0; i < n; ++i)
+        scratch_m_[i] = m_[i] + dt * scratch_k1_[i];
+    derivatives(scratch_m_, scratch_h_, scratch_k2_);
+    for (std::size_t i = 0; i < n; ++i)
+        m_[i] = normalized(m_[i] + 0.5 * dt * (scratch_k1_[i] + scratch_k2_[i]));
+}
+
+void LlgsSystem::step_rk4(double dt) {
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) scratch_h_[i] = Vec3{};
+
+    derivatives(m_, scratch_h_, scratch_k1_);
+    for (std::size_t i = 0; i < n; ++i)
+        scratch_m_[i] = m_[i] + 0.5 * dt * scratch_k1_[i];
+    derivatives(scratch_m_, scratch_h_, scratch_k2_);
+    for (std::size_t i = 0; i < n; ++i)
+        scratch_m_[i] = m_[i] + 0.5 * dt * scratch_k2_[i];
+    derivatives(scratch_m_, scratch_h_, scratch_k3_);
+    for (std::size_t i = 0; i < n; ++i)
+        scratch_m_[i] = m_[i] + dt * scratch_k3_[i];
+    derivatives(scratch_m_, scratch_h_, scratch_k4_);
+    for (std::size_t i = 0; i < n; ++i)
+        m_[i] = normalized(m_[i] + dt / 6.0 *
+                                       (scratch_k1_[i] + 2.0 * scratch_k2_[i] +
+                                        2.0 * scratch_k3_[i] + scratch_k4_[i]));
+}
+
+double LlgsSystem::energy() const {
+    double e = 0.0;
+    for (std::size_t i = 0; i < size(); ++i) {
+        const Nanomagnet& nm = magnets_[i];
+        const double v = nm.volume();
+        const double me = dot(m_[i], nm.easy_axis);
+        // Uniaxial: Ku V sin^2(theta).
+        e += nm.ku * v * (1.0 - me * me);
+        // Shape: (mu0/2) Ms^2 V (m . N m).
+        e += 0.5 * kMu0 * nm.ms * nm.ms * v * dot(m_[i], hadamard(nm.demag_n, m_[i]));
+        // Zeeman in the applied field: -mu0 Ms V m.H.
+        e -= kMu0 * nm.ms * v * dot(m_[i], h_applied_);
+        // Coupling, counted once per ordered pair then halved. The field
+        // convention H_i = -j_ij m_j derives from E = mu0 Ms_i V_i j_ij (m_i.m_j).
+        for (std::size_t j = 0; j < size(); ++j) {
+            const double c = coupling_[i * size() + j];
+            if (c != 0.0) e += 0.5 * kMu0 * nm.ms * v * c * dot(m_[i], m_[j]);
+        }
+    }
+    return e;
+}
+
+}  // namespace gshe::spin

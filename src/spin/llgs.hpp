@@ -1,0 +1,110 @@
+#pragma once
+// Stochastic Landau-Lifshitz-Gilbert-Slonczewski (sLLGS) dynamics for a
+// small set of mutually coupled macrospins.
+//
+// This is the solver behind the paper's device characterization (Fig. 4 delay
+// distributions are "simulated using the stochastic Landau-Lifshitz-Gilbert-
+// Slonczewski equation" [29]). We integrate, per magnet i,
+//
+//   dm/dt = -gamma*mu0/(1+a^2) * [ m x H  +  a * m x (m x H) ]          (LLG)
+//           -gamma*mu0/(1+a^2) * [ m x (m x Hs) - a * m x Hs ]   (Slonczewski)
+//
+// where H collects uniaxial anisotropy, shape (demag) anisotropy, dipolar
+// coupling to the other magnets, any applied field, and the thermal field;
+// Hs = a_J * s_hat is the spin-torque effective field with
+//
+//   a_J = hbar * Is / (2 e mu0 Ms V)   [A/m]
+//
+// and s_hat the injected spin polarization direction. Two integrators are
+// provided: Heun (stochastic, Stratonovich-consistent, used at T > 0) and
+// classical RK4 (deterministic runs and energy-conservation tests).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec3.hpp"
+#include "spin/material.hpp"
+
+namespace gshe::spin {
+
+/// Slonczewski spin-transfer drive applied to one magnet.
+struct SpinTorque {
+    Vec3 polarization{0, 0, 0};  ///< unit spin polarization direction
+    double spin_current = 0.0;   ///< Is [A]; 0 disables the torque
+    /// Field-like torque as a fraction of the Slonczewski coefficient a_J.
+    /// Heavy-metal/MTJ stacks exhibit ratios of 0.1-0.3; it enters the
+    /// dynamics as an extra effective field along the polarization.
+    double field_like_ratio = 0.0;
+};
+
+/// N coupled macrospins under sLLGS dynamics.
+class LlgsSystem {
+public:
+    explicit LlgsSystem(std::vector<Nanomagnet> magnets);
+
+    std::size_t size() const { return magnets_.size(); }
+    const Nanomagnet& magnet(std::size_t i) const { return magnets_.at(i); }
+
+    /// Current magnetization direction of magnet i (unit vector).
+    const Vec3& m(std::size_t i) const { return m_.at(i); }
+    void set_m(std::size_t i, const Vec3& v);
+
+    /// Linear coupling: magnet i sees H_i += -j_ij * m_j. For the stacked
+    /// GSHE pair the point-dipole value j = Ms_j * V_j / (4 pi r^3) > 0
+    /// realizes the negative (anti-parallel) dipolar coupling of Fig. 1.
+    void set_coupling(std::size_t i, std::size_t j, double j_ij);
+    /// Symmetric dipolar coupling between a pair of stacked magnets with
+    /// center-to-center distance r (meters): each sees the other's dipole.
+    void couple_dipolar_pair(std::size_t i, std::size_t j, double distance);
+
+    void set_torque(std::size_t i, const SpinTorque& t);
+    void set_applied_field(const Vec3& h) { h_applied_ = h; }
+    void set_temperature(double kelvin) { temperature_ = kelvin; }
+    double temperature() const { return temperature_; }
+
+    /// Spin-torque effective field magnitude a_J [A/m] for magnet i.
+    double stt_field_magnitude(std::size_t i) const;
+
+    /// Deterministic part of the effective field on magnet i for state `m`.
+    Vec3 effective_field(std::size_t i, const std::vector<Vec3>& m) const;
+
+    /// Replaces each magnet's state (assumed to sit at a ±easy-axis minimum)
+    /// by a draw from the harmonic Boltzmann distribution around that
+    /// minimum: independent Gaussian tilts in the two transverse modes with
+    /// variance kB*T / (mu0 Ms V H_mode). This equilibrates the "initial
+    /// angle lottery" instantly instead of requiring a multi-ns noisy
+    /// pre-roll (the equilibration time 1/(alpha gamma mu0 H) exceeds the
+    /// switching time itself at the damping values used here).
+    void sample_thermal_equilibrium(Rng& rng);
+
+    /// One Heun predictor-corrector step of length dt with thermal noise.
+    void step_heun(double dt, Rng& rng);
+    /// One deterministic RK4 step (no thermal field regardless of T).
+    void step_rk4(double dt);
+
+    /// Total magnetic energy [J]: anisotropy + shape + coupling + Zeeman.
+    /// Conserved by step_rk4 when damping, torque and temperature are zero.
+    double energy() const;
+
+private:
+    Vec3 rhs(std::size_t i, const std::vector<Vec3>& m,
+             const std::vector<Vec3>& h_thermal) const;
+    void derivatives(const std::vector<Vec3>& m,
+                     const std::vector<Vec3>& h_thermal,
+                     std::vector<Vec3>& out) const;
+
+    std::vector<Nanomagnet> magnets_;
+    std::vector<Vec3> m_;
+    std::vector<SpinTorque> torques_;
+    std::vector<double> coupling_;  // row-major n x n, -j_ij * m_j convention
+    Vec3 h_applied_{0, 0, 0};
+    double temperature_ = kRoomTemperature;
+
+    // Scratch buffers reused across steps to keep the hot loop allocation-free.
+    mutable std::vector<Vec3> scratch_m_;
+    mutable std::vector<Vec3> scratch_k1_, scratch_k2_, scratch_k3_, scratch_k4_;
+    mutable std::vector<Vec3> scratch_h_;
+};
+
+}  // namespace gshe::spin

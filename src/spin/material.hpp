@@ -1,0 +1,70 @@
+#pragma once
+// Material and geometry description of a single macrospin nanomagnet,
+// populated from Table I of the paper for the GSHE switch's write (W) and
+// read (R) free layers.
+
+#include "common/vec3.hpp"
+#include "spin/constants.hpp"
+#include "spin/demag.hpp"
+
+namespace gshe::spin {
+
+/// Rectangular nanomagnet geometry (full edge lengths, meters).
+struct Geometry {
+    double lx = 28e-9;  ///< long in-plane axis (easy axis)
+    double ly = 15e-9;  ///< short in-plane axis
+    double lz = 2e-9;   ///< film thickness
+
+    constexpr double volume() const { return lx * ly * lz; }
+    /// In-plane footprint, the MTJ junction area used for GP = A/RAP.
+    constexpr double area() const { return lx * ly; }
+};
+
+/// Static parameters of one macrospin.
+struct Nanomagnet {
+    Geometry geometry{};
+    double ms = 1e6;          ///< saturation magnetization [A/m]
+    double ku = 2.5e4;        ///< uniaxial anisotropy energy density [J/m^3]
+    /// Gilbert damping. 0.004 (CoFeB-class) is part of the Fig. 4
+    /// calibration: it keeps IS = 20 uA comfortably above the deterministic
+    /// switching threshold a_c ~ alpha*(H_k + H_shape + H_dip + M_eff/2).
+    double alpha = 0.004;
+    Vec3 easy_axis{1, 0, 0};  ///< unit vector of the uniaxial easy axis
+    Vec3 demag_n{};           ///< diagonal demag factors; fill via with_demag()
+
+    double volume() const { return geometry.volume(); }
+
+    /// Uniaxial anisotropy field magnitude H_k = 2 Ku / (mu0 Ms) [A/m].
+    double anisotropy_field() const { return 2.0 * ku / (kMu0 * ms); }
+
+    /// Crystalline energy barrier Ku*V in units of kB*T at temperature T.
+    /// (Shape anisotropy adds on top; see LlgsSystem::energy.)
+    double thermal_stability(double temperature_k = kRoomTemperature) const {
+        return ku * volume() / (kBoltzmann * temperature_k);
+    }
+
+    /// Returns a copy with demag factors computed from the geometry.
+    Nanomagnet with_demag() const {
+        Nanomagnet m = *this;
+        m.demag_n = prism_demag_factors(geometry.lx, geometry.ly, geometry.lz);
+        return m;
+    }
+};
+
+/// Table I write nanomagnet: Ms = 1e6 A/m, Ku = 2.5e4 J/m^3.
+inline Nanomagnet write_nanomagnet_table1() {
+    Nanomagnet m;
+    m.ms = 1e6;
+    m.ku = 2.5e4;
+    return m.with_demag();
+}
+
+/// Table I read nanomagnet: Ms = 5e5 A/m, Ku = 5e3 J/m^3.
+inline Nanomagnet read_nanomagnet_table1() {
+    Nanomagnet m;
+    m.ms = 5e5;
+    m.ku = 5e3;
+    return m.with_demag();
+}
+
+}  // namespace gshe::spin

@@ -1,0 +1,39 @@
+#pragma once
+// Thermal fluctuation field for finite-temperature macrospin dynamics.
+//
+// Following Brown (1963) and the discretization used by mumax3/OOMMF, the
+// thermal field applied over one integration step of length dt is an
+// isotropic Gaussian with per-component standard deviation (as a B-field)
+//
+//   sigma_B = sqrt( 2 * alpha * kB * T / (gamma * Ms * V * dt) )   [T]
+//
+// which we convert to A/m by dividing by mu0. This satisfies the
+// fluctuation-dissipation theorem for the LLG written with the gamma*mu0
+// precession prefactor, and is what makes the GSHE switch's delay (Fig. 4)
+// and its tunable stochastic mode (Sec. V-B) emerge from the simulation.
+
+#include "common/rng.hpp"
+#include "common/vec3.hpp"
+#include "spin/constants.hpp"
+#include "spin/material.hpp"
+
+namespace gshe::spin {
+
+/// Per-component standard deviation of the thermal field [A/m] for one
+/// integration step dt at temperature T.
+inline double thermal_field_sigma(const Nanomagnet& m, double temperature_k,
+                                  double dt) {
+    const double var_b = 2.0 * m.alpha * kBoltzmann * temperature_k /
+                         (kGyromagneticRatio * m.ms * m.volume() * dt);
+    return std::sqrt(var_b) / kMu0;
+}
+
+/// Draws one realization of the thermal field for the step.
+inline Vec3 sample_thermal_field(const Nanomagnet& m, double temperature_k,
+                                 double dt, Rng& rng) {
+    const double sigma = thermal_field_sigma(m, temperature_k, dt);
+    return {rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma),
+            rng.gaussian(0.0, sigma)};
+}
+
+}  // namespace gshe::spin

@@ -1,0 +1,64 @@
+#include "sta/delay_aware.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace gshe::sta {
+
+using netlist::CellType;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::Netlist;
+
+DelayAwareResult delay_aware_select(const Netlist& nl,
+                                    const DelayAwareOptions& options) {
+    DelayAwareResult res;
+    std::vector<double> delay = gate_delays(nl, options.model);
+
+    const TimingReport baseline = analyze(nl, delay);
+    res.baseline_critical = baseline.critical_delay;
+    const double clock = baseline.critical_delay;
+
+    // Candidate pool in randomized order (the paper protects a random
+    // selection subject to the timing constraint).
+    std::vector<GateId> candidates;
+    for (GateId id = 0; id < nl.size(); ++id) {
+        const Gate& g = nl.gate(id);
+        if (g.type != CellType::Logic || g.fanin_count() != 2) continue;
+        if (options.restrict_to_nand_nor &&
+            !(g.fn == core::Bool2::NAND() || g.fn == core::Bool2::NOR()))
+            continue;
+        candidates.push_back(id);
+    }
+    Rng rng(options.seed ^ 0xde1a7ULL);
+    for (std::size_t i = candidates.size(); i > 1; --i)
+        std::swap(candidates[i - 1], candidates[rng.below(i)]);
+    res.candidates_considered = candidates.size();
+
+    const std::size_t logic_gates = nl.logic_gate_count();
+    const auto cap = static_cast<std::size_t>(
+        options.max_fraction * static_cast<double>(logic_gates) + 0.5);
+
+    TimingReport current = analyze(nl, delay, clock);
+    for (GateId id : candidates) {
+        if (res.replaced.size() >= cap) break;
+        const double delta = options.model.gshe_s - delay[id];
+        if (delta <= 0.0) continue;
+        // Exact feasibility test: slack under the *current* delays.
+        if (current.slack(id) < delta) continue;
+        delay[id] = options.model.gshe_s;
+        res.replaced.push_back(id);
+        current = analyze(nl, delay, clock);
+    }
+
+    res.final_critical = analyze(nl, delay, clock).critical_delay;
+    res.fraction_replaced =
+        logic_gates == 0
+            ? 0.0
+            : static_cast<double>(res.replaced.size()) / static_cast<double>(logic_gates);
+    std::sort(res.replaced.begin(), res.replaced.end());
+    return res;
+}
+
+}  // namespace gshe::sta

@@ -1,0 +1,45 @@
+#pragma once
+// Delay-aware GSHE camouflaging (Sec. V-A, "prospects for camouflaging of
+// industrial circuits").
+//
+// "We replace CMOS gates in the non-critical paths with the GSHE-based
+// primitive such that no delay overheads can be expected. On an average, we
+// can camouflage 5-15% of all gates this way."
+//
+// The pass is an exact greedy: with the clock pinned to the baseline
+// critical delay, a candidate gate is replaced iff its current slack covers
+// the GSHE-vs-CMOS delay increase; slacks are recomputed after every
+// acceptance, so shared-path budgets are honored and the final design has
+// zero negative slack by construction (asserted in tests).
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+
+namespace gshe::sta {
+
+struct DelayAwareResult {
+    std::vector<netlist::GateId> replaced;  ///< gates selected for GSHE
+    double baseline_critical = 0.0;         ///< CMOS-only critical delay
+    double final_critical = 0.0;            ///< after replacement (== baseline)
+    double fraction_replaced = 0.0;         ///< replaced / logic gates
+    std::size_t candidates_considered = 0;
+};
+
+struct DelayAwareOptions {
+    DelayModel model;
+    std::uint64_t seed = 1;     ///< candidate visit order
+    double max_fraction = 1.0;  ///< optional cap on the replaced fraction
+    /// Only NAND/NOR gates are eligible when true (matches the Table IV
+    /// selection pool); otherwise every 2-input logic gate is.
+    bool restrict_to_nand_nor = false;
+};
+
+/// Selects the zero-overhead replacement set. Does not modify `nl`; apply
+/// with camo::apply_camouflage on the returned gate list.
+DelayAwareResult delay_aware_select(const netlist::Netlist& nl,
+                                    const DelayAwareOptions& options = {});
+
+}  // namespace gshe::sta

@@ -1,0 +1,32 @@
+#pragma once
+// Gate delay models for the hybrid CMOS-GSHE timing study (Sec. V-A, Fig. 6).
+//
+// CMOS delays are a load-independent 45 nm-class library (the study needs
+// relative path structure, not sign-off accuracy). The GSHE primitive's
+// delay is the paper's adopted 1.55 ns mean (Sec. III-B) — roughly 50x a
+// CMOS gate, which is exactly why replacement is restricted to non-critical
+// paths.
+
+#include <vector>
+
+#include "core/characterization.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gshe::sta {
+
+struct DelayModel {
+    double inv_s = 15e-12;   ///< INV/BUF
+    double nand_s = 25e-12;  ///< NAND/NOR
+    double and_s = 35e-12;   ///< AND/OR (NAND + INV class)
+    double xor_s = 45e-12;   ///< XOR/XNOR
+    double gshe_s = core::kNominalDelay;  ///< camouflaged GSHE cell: 1.55 ns
+
+    /// Delay of one gate under this model; camouflaged gates are GSHE cells.
+    double gate_delay(const netlist::Gate& g) const;
+};
+
+/// Per-gate delay vector for a netlist (index = GateId; non-logic gates 0).
+std::vector<double> gate_delays(const netlist::Netlist& nl,
+                                const DelayModel& model = {});
+
+}  // namespace gshe::sta

@@ -1,0 +1,142 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace gshe::sta {
+
+using netlist::CellType;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::kNoGate;
+using netlist::Netlist;
+
+double DelayModel::gate_delay(const netlist::Gate& g) const {
+    using core::Bool2;
+    if (g.type != CellType::Logic) return 0.0;
+    if (g.is_camouflaged()) return gshe_s;
+    const Bool2 fn = g.fn;
+    if (fn == Bool2::NOT_A() || fn == Bool2::A() || fn == Bool2::NOT_B() ||
+        fn == Bool2::B())
+        return inv_s;
+    if (fn == Bool2::NAND() || fn == Bool2::NOR()) return nand_s;
+    if (fn == Bool2::XOR() || fn == Bool2::XNOR()) return xor_s;
+    return and_s;  // AND/OR and the remaining and-class functions
+}
+
+std::vector<double> gate_delays(const Netlist& nl, const DelayModel& model) {
+    std::vector<double> d(nl.size(), 0.0);
+    for (GateId id = 0; id < nl.size(); ++id) d[id] = model.gate_delay(nl.gate(id));
+    return d;
+}
+
+TimingReport analyze(const Netlist& nl, const std::vector<double>& delay,
+                     double clock_period) {
+    if (delay.size() != nl.size())
+        throw std::invalid_argument("analyze: one delay per gate required");
+
+    TimingReport rep;
+    rep.arrival.assign(nl.size(), 0.0);
+    const auto& order = nl.topological_order();
+
+    // Forward pass: worst arrival.
+    for (GateId id : order) {
+        const Gate& g = nl.gate(id);
+        if (g.type != CellType::Logic) continue;  // sources arrive at 0
+        double arr = 0.0;
+        if (g.a != kNoGate) arr = std::max(arr, rep.arrival[g.a]);
+        if (g.b != kNoGate) arr = std::max(arr, rep.arrival[g.b]);
+        rep.arrival[id] = arr + delay[id];
+    }
+
+    // Endpoint set: PO drivers and DFF D drivers.
+    auto for_each_endpoint = [&](auto&& fn) {
+        for (const netlist::PortRef& po : nl.outputs()) fn(po.gate);
+        for (GateId ff : nl.dffs()) {
+            const GateId d = nl.gate(ff).a;
+            if (d != kNoGate) fn(d);
+        }
+    };
+    for_each_endpoint([&](GateId ep) {
+        rep.critical_delay = std::max(rep.critical_delay, rep.arrival[ep]);
+    });
+    const double clock = clock_period > 0.0 ? clock_period : rep.critical_delay;
+
+    // Backward pass: required times.
+    rep.required.assign(nl.size(), std::numeric_limits<double>::infinity());
+    for_each_endpoint([&](GateId ep) {
+        rep.required[ep] = std::min(rep.required[ep], clock);
+    });
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const GateId id = *it;
+        const Gate& g = nl.gate(id);
+        if (g.type != CellType::Logic) continue;
+        const double req_in = rep.required[id] - delay[id];
+        if (g.a != kNoGate) rep.required[g.a] = std::min(rep.required[g.a], req_in);
+        if (g.b != kNoGate) rep.required[g.b] = std::min(rep.required[g.b], req_in);
+    }
+    // Unconstrained gates (no path to an endpoint) get relaxed to the clock.
+    for (GateId id = 0; id < nl.size(); ++id)
+        if (rep.required[id] == std::numeric_limits<double>::infinity())
+            rep.required[id] = clock;
+
+    // Critical path: walk back from the worst endpoint through the worst
+    // fanin chain.
+    GateId worst = kNoGate;
+    for_each_endpoint([&](GateId ep) {
+        if (worst == kNoGate || rep.arrival[ep] > rep.arrival[worst]) worst = ep;
+    });
+    while (worst != kNoGate) {
+        rep.critical_path.push_back(worst);
+        const Gate& g = nl.gate(worst);
+        if (g.type != CellType::Logic) break;
+        GateId next = kNoGate;
+        if (g.a != kNoGate) next = g.a;
+        if (g.b != kNoGate &&
+            (next == kNoGate || rep.arrival[g.b] > rep.arrival[next]))
+            next = g.b;
+        worst = next;
+    }
+    std::reverse(rep.critical_path.begin(), rep.critical_path.end());
+    return rep;
+}
+
+Histogram endpoint_delay_histogram(const Netlist& nl,
+                                   const std::vector<double>& delay,
+                                   std::size_t bins, double hi_override) {
+    const TimingReport rep = analyze(nl, delay);
+    const double hi = hi_override > 0.0 ? hi_override
+                                        : rep.critical_delay * 1.0000001;
+    Histogram h(0.0, hi > 0.0 ? hi : 1.0, bins);
+    for (const netlist::PortRef& po : nl.outputs()) h.add(rep.arrival[po.gate]);
+    for (GateId ff : nl.dffs()) {
+        const GateId d = nl.gate(ff).a;
+        if (d != kNoGate) h.add(rep.arrival[d]);
+    }
+    return h;
+}
+
+double total_path_count(const Netlist& nl) {
+    std::vector<double> paths(nl.size(), 0.0);
+    for (GateId id : nl.topological_order()) {
+        const Gate& g = nl.gate(id);
+        if (g.type != CellType::Logic) {
+            paths[id] = 1.0;  // source
+            continue;
+        }
+        double p = 0.0;
+        if (g.a != kNoGate) p += paths[g.a];
+        if (g.b != kNoGate) p += paths[g.b];
+        paths[id] = p;
+    }
+    double total = 0.0;
+    for (const netlist::PortRef& po : nl.outputs()) total += paths[po.gate];
+    for (GateId ff : nl.dffs()) {
+        const GateId d = nl.gate(ff).a;
+        if (d != kNoGate) total += paths[d];
+    }
+    return total;
+}
+
+}  // namespace gshe::sta

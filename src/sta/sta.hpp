@@ -1,0 +1,46 @@
+#pragma once
+// Static timing analysis over the netlist DAG.
+//
+// Timing endpoints are primary outputs and DFF D pins; timing startpoints
+// are primary inputs and DFF Q pins (arrival 0). This is the engine behind
+// the Fig. 6 path-delay profiles and the delay-aware camouflaging pass.
+
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/delay_model.hpp"
+
+namespace gshe::sta {
+
+struct TimingReport {
+    std::vector<double> arrival;   ///< per gate: worst arrival at its output
+    std::vector<double> required;  ///< per gate: latest permissible arrival
+    double critical_delay = 0.0;   ///< worst endpoint arrival
+    std::vector<netlist::GateId> critical_path;  ///< source -> endpoint gates
+
+    double slack(netlist::GateId id) const {
+        return required[id] - arrival[id];
+    }
+};
+
+/// Runs STA with the given per-gate delays. `clock_period` sets endpoint
+/// required times; pass <= 0 to use the critical delay itself (zero-slack
+/// clock, the paper's "no delay overheads" constraint).
+TimingReport analyze(const netlist::Netlist& nl,
+                     const std::vector<double>& delay,
+                     double clock_period = 0.0);
+
+/// Fig. 6: histogram of endpoint path delays (one entry per timing
+/// endpoint, at its worst-arrival value — what an STA report calls "paths").
+Histogram endpoint_delay_histogram(const netlist::Netlist& nl,
+                                   const std::vector<double>& delay,
+                                   std::size_t bins = 30,
+                                   double hi_override = 0.0);
+
+/// Total number of distinct source-to-endpoint topological paths, computed
+/// by DP in double precision (combinational path counts explode; the value
+/// is reported in scientific notation alongside Fig. 6).
+double total_path_count(const netlist::Netlist& nl);
+
+}  // namespace gshe::sta

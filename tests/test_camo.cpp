@@ -1,0 +1,357 @@
+// Tests for the camouflaging framework: prior-art cell libraries, memorized
+// gate selection, camouflage application (both insertion styles), key
+// handling, and the camouflage<->locking transformation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "camo/cell_library.hpp"
+#include "camo/key.hpp"
+#include "camo/locking.hpp"
+#include "camo/protect.hpp"
+#include "common/rng.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/simulator.hpp"
+
+namespace gshe::camo {
+namespace {
+
+using core::Bool2;
+using netlist::GateId;
+using netlist::Netlist;
+using netlist::Simulator;
+
+Netlist test_circuit(std::uint64_t seed = 5) {
+    netlist::RandomSpec spec;
+    spec.n_inputs = 16;
+    spec.n_outputs = 12;
+    spec.n_gates = 160;
+    spec.seed = seed;
+    return netlist::random_circuit(spec);
+}
+
+/// Simulation equivalence of the protected netlist's true functionality
+/// against the original on random packed patterns.
+bool functionally_equal(const Netlist& a, const Netlist& b, int words = 16) {
+    if (a.inputs().size() != b.inputs().size()) return false;
+    if (a.outputs().size() != b.outputs().size()) return false;
+    Simulator sa(a), sb(b);
+    Rng rng(99);
+    for (int w = 0; w < words; ++w) {
+        std::vector<std::uint64_t> pi(a.inputs().size());
+        for (auto& word : pi) word = rng();
+        const auto oa = sa.run(pi);
+        const auto ob = sb.run(pi);
+        for (std::size_t o = 0; o < oa.size(); ++o)
+            if (oa[o] != ob[o]) return false;
+    }
+    return true;
+}
+
+// ---- cell libraries ------------------------------------------------------------
+
+TEST(CellLibrary, Table4FunctionCounts) {
+    EXPECT_EQ(rajendran13().function_count(), 3);
+    EXPECT_EQ(nirmala16_winograd16().function_count(), 6);
+    EXPECT_EQ(bi16_sinw().function_count(), 4);
+    EXPECT_EQ(alasad17c_zhang16().function_count(), 2);
+    EXPECT_EQ(zhang15_alasad17a().function_count(), 4);
+    EXPECT_EQ(parveen17_dwm().function_count(), 8);  // 7 + BUF
+    EXPECT_EQ(gshe16().function_count(), 16);
+    EXPECT_EQ(stt_lut16().function_count(), 16);
+}
+
+TEST(CellLibrary, Gshe16CoversAllFunctions) {
+    std::set<std::uint8_t> seen;
+    for (Bool2 f : gshe16().functions) seen.insert(f.truth_table());
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(CellLibrary, EveryFunctionSetLibraryContainsNandNor) {
+    // The invariant behind the shared gate-selection pool.
+    for (const CellLibrary& lib : table4_libraries()) {
+        if (lib.style != InsertionStyle::FunctionSet) continue;
+        EXPECT_TRUE(lib.contains(Bool2::NAND())) << lib.name;
+        EXPECT_TRUE(lib.contains(Bool2::NOR())) << lib.name;
+    }
+}
+
+TEST(CellLibrary, InvBufIsWireInsertion) {
+    EXPECT_EQ(alasad17c_zhang16().style, InsertionStyle::WireInsertion);
+    EXPECT_TRUE(alasad17c_zhang16().contains(Bool2::A()));
+    EXPECT_TRUE(alasad17c_zhang16().contains(Bool2::NOT_A()));
+}
+
+TEST(CellLibrary, LookupByName) {
+    EXPECT_EQ(library_by_name("gshe16").function_count(), 16);
+    EXPECT_EQ(library_by_name("stt_lut16").citation, "[25] STT-LUT");
+    EXPECT_THROW(library_by_name("unknown"), std::invalid_argument);
+}
+
+TEST(CellLibrary, Table4HasSevenColumns) {
+    EXPECT_EQ(table4_libraries().size(), 7u);
+}
+
+// ---- gate selection -------------------------------------------------------------
+
+TEST(Selection, SelectsRequestedFraction) {
+    const Netlist nl = test_circuit();
+    const auto sel = select_gates(nl, 0.10, 1);
+    const auto want = static_cast<std::size_t>(0.10 * nl.logic_gate_count() + 0.5);
+    EXPECT_EQ(sel.size(), std::min(want, eligible_gate_count(nl)));
+}
+
+TEST(Selection, MemorizedAcrossCalls) {
+    const Netlist nl = test_circuit();
+    EXPECT_EQ(select_gates(nl, 0.2, 7), select_gates(nl, 0.2, 7));
+    EXPECT_NE(select_gates(nl, 0.2, 7), select_gates(nl, 0.2, 8));
+}
+
+TEST(Selection, OnlyNandNorGates) {
+    const Netlist nl = test_circuit();
+    for (GateId id : select_gates(nl, 0.3, 3)) {
+        const auto& g = nl.gate(id);
+        EXPECT_TRUE(g.fn == Bool2::NAND() || g.fn == Bool2::NOR());
+        EXPECT_EQ(g.fanin_count(), 2);
+    }
+}
+
+TEST(Selection, CapsAtEligiblePool) {
+    const Netlist nl = test_circuit();
+    const auto sel = select_gates(nl, 1.0, 5);
+    EXPECT_EQ(sel.size(), eligible_gate_count(nl));
+}
+
+TEST(Selection, RejectsBadFraction) {
+    const Netlist nl = test_circuit();
+    EXPECT_THROW(select_gates(nl, -0.1, 1), std::invalid_argument);
+    EXPECT_THROW(select_gates(nl, 1.5, 1), std::invalid_argument);
+}
+
+// ---- camouflage application, parameterized over every library --------------------
+
+class ApplyEveryLibrary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ApplyEveryLibrary, TrueFunctionalityPreserved) {
+    const CellLibrary& lib = table4_libraries()[GetParam()];
+    const Netlist nl = test_circuit();
+    const auto sel = select_gates(nl, 0.15, 11);
+    const Protection prot = apply_camouflage(nl, sel, lib, 11);
+    EXPECT_EQ(prot.netlist.camo_cells().size(), sel.size());
+    EXPECT_TRUE(functionally_equal(nl, prot.netlist)) << lib.name;
+}
+
+TEST_P(ApplyEveryLibrary, TrueKeyIsFunctionallyCorrect) {
+    const CellLibrary& lib = table4_libraries()[GetParam()];
+    const Netlist nl = test_circuit();
+    const auto sel = select_gates(nl, 0.15, 13);
+    const Protection prot = apply_camouflage(nl, sel, lib, 13);
+    EXPECT_TRUE(key_functionally_correct(prot.netlist, prot.true_key));
+    EXPECT_EQ(prot.true_key.bits.size(),
+              static_cast<std::size_t>(prot.netlist.key_bit_count()));
+}
+
+TEST_P(ApplyEveryLibrary, CandidateSetsMatchLibrary) {
+    const CellLibrary& lib = table4_libraries()[GetParam()];
+    const Netlist nl = test_circuit();
+    const auto sel = select_gates(nl, 0.1, 17);
+    const Protection prot = apply_camouflage(nl, sel, lib, 17);
+    for (const auto& cell : prot.netlist.camo_cells()) {
+        EXPECT_EQ(cell.candidates.size(), lib.functions.size());
+        EXPECT_EQ(cell.library, lib.name);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLibraries, ApplyEveryLibrary,
+                         ::testing::Range<std::size_t>(0, 7),
+                         [](const auto& info) {
+                             return table4_libraries()[info.param].name;
+                         });
+
+TEST(Apply, WireInsertionAddsCells) {
+    const Netlist nl = test_circuit();
+    const auto sel = select_gates(nl, 0.1, 19);
+    const Protection prot =
+        apply_camouflage(nl, sel, alasad17c_zhang16(), 19);
+    // Inserted INV/BUF cells add to the gate count.
+    EXPECT_EQ(prot.netlist.logic_gate_count(),
+              nl.logic_gate_count() + sel.size());
+    // True cells are a mix of BUF and INV (seeded randomization).
+    int inv = 0, buf = 0;
+    for (const auto& cell : prot.netlist.camo_cells()) {
+        const auto& g = prot.netlist.gate(cell.gate);
+        if (g.fn == Bool2::NOT_A()) ++inv;
+        if (g.fn == Bool2::A()) ++buf;
+    }
+    EXPECT_GT(inv, 0);
+    EXPECT_GT(buf, 0);
+}
+
+TEST(Apply, FunctionSetKeepsGateCount) {
+    const Netlist nl = test_circuit();
+    const auto sel = select_gates(nl, 0.1, 23);
+    const Protection prot = apply_camouflage(nl, sel, gshe16(), 23);
+    EXPECT_EQ(prot.netlist.logic_gate_count(), nl.logic_gate_count());
+}
+
+TEST(Apply, Gshe16UsesFourKeyBitsPerCell) {
+    const Netlist nl = test_circuit();
+    const auto sel = select_gates(nl, 0.1, 29);
+    const Protection prot = apply_camouflage(nl, sel, gshe16(), 29);
+    EXPECT_EQ(prot.netlist.key_bit_count(),
+              static_cast<int>(4 * sel.size()));
+}
+
+// ---- keys -----------------------------------------------------------------------
+
+TEST(Key, TrueKeyDecodesToTrueFunctions) {
+    const Netlist nl = test_circuit();
+    const auto sel = select_gates(nl, 0.2, 31);
+    const Protection prot = apply_camouflage(nl, sel, gshe16(), 31);
+    const Key k = true_key(prot.netlist);
+    const auto fns = functions_for_key(prot.netlist, k);
+    ASSERT_TRUE(fns.has_value());
+    const auto& cells = prot.netlist.camo_cells();
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        EXPECT_EQ((*fns)[i], prot.netlist.gate(cells[i].gate).fn);
+}
+
+TEST(Key, WrongKeyDetected) {
+    const Netlist nl = test_circuit();
+    const auto sel = select_gates(nl, 0.2, 37);
+    const Protection prot = apply_camouflage(nl, sel, gshe16(), 37);
+    Key wrong = prot.true_key;
+    wrong.bits[0] = !wrong.bits[0];
+    EXPECT_FALSE(key_functionally_correct(prot.netlist, wrong));
+}
+
+TEST(Key, OutOfRangeCodeReturnsNullopt) {
+    Netlist nl("k");
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto g = nl.add_gate(Bool2::NAND(), a, b);
+    nl.add_output(g, "y");
+    nl.camouflage(g, {Bool2::NAND(), Bool2::NOR(), Bool2::XOR()}, "lib");
+    Key k;
+    k.bits = {true, true};  // code 3 >= 3 candidates
+    EXPECT_EQ(functions_for_key(nl, k), std::nullopt);
+}
+
+TEST(Key, SizeValidation) {
+    const Netlist nl = test_circuit();
+    const auto sel = select_gates(nl, 0.1, 41);
+    const Protection prot = apply_camouflage(nl, sel, gshe16(), 41);
+    Key short_key;
+    short_key.bits = {true};
+    EXPECT_THROW(functions_for_key(prot.netlist, short_key),
+                 std::invalid_argument);
+}
+
+TEST(Key, ToStringIsBitstring) {
+    Key k;
+    k.bits = {true, false, true};
+    EXPECT_EQ(k.to_string(), "101");
+}
+
+// ---- locking transform ------------------------------------------------------------
+
+TEST(Locking, CorrectKeyRestoresFunction) {
+    const Netlist nl = test_circuit();
+    const auto sel = select_gates(nl, 0.15, 43);
+    const Protection prot = apply_camouflage(nl, sel, gshe16(), 43);
+    const LockedCircuit lc = to_locked(prot.netlist);
+
+    EXPECT_EQ(lc.key_inputs.size(), lc.correct_key.bits.size());
+    EXPECT_TRUE(lc.netlist.camo_cells().empty());
+
+    // Simulate locked netlist with the correct key driven on key inputs.
+    Simulator orig(nl), locked(lc.netlist);
+    Rng rng(4);
+    for (int t = 0; t < 10; ++t) {
+        std::vector<std::uint64_t> pi_orig(nl.inputs().size());
+        for (auto& w : pi_orig) w = rng();
+        // Locked inputs: original PIs followed/interleaved by key inputs in
+        // netlist order; build by name lookup.
+        std::vector<std::uint64_t> pi_locked(lc.netlist.inputs().size(), 0);
+        std::size_t oi = 0;
+        std::size_t ki = 0;
+        for (std::size_t i = 0; i < lc.netlist.inputs().size(); ++i) {
+            const auto& name = lc.netlist.gate(lc.netlist.inputs()[i]).name;
+            if (name.rfind("keyinput", 0) == 0)
+                pi_locked[i] = lc.correct_key.bits[ki++] ? ~0ULL : 0;
+            else
+                pi_locked[i] = pi_orig[oi++];
+        }
+        const auto oo = orig.run(pi_orig);
+        const auto lo = locked.run(pi_locked);
+        for (std::size_t o = 0; o < oo.size(); ++o) ASSERT_EQ(oo[o], lo[o]);
+    }
+}
+
+TEST(Locking, WrongKeyCorruptsFunction) {
+    const Netlist nl = test_circuit();
+    const auto sel = select_gates(nl, 0.15, 47);
+    const Protection prot = apply_camouflage(nl, sel, gshe16(), 47);
+    const LockedCircuit lc = to_locked(prot.netlist);
+
+    Simulator orig(nl), locked(lc.netlist);
+    Rng rng(8);
+    std::vector<std::uint64_t> pi_orig(nl.inputs().size());
+    for (auto& w : pi_orig) w = rng();
+    Key wrong = lc.correct_key;
+    for (std::size_t i = 0; i < wrong.bits.size(); ++i)
+        wrong.bits[i] = !wrong.bits[i];
+
+    std::vector<std::uint64_t> pi_locked(lc.netlist.inputs().size(), 0);
+    std::size_t oi = 0, ki = 0;
+    for (std::size_t i = 0; i < lc.netlist.inputs().size(); ++i) {
+        const auto& name = lc.netlist.gate(lc.netlist.inputs()[i]).name;
+        if (name.rfind("keyinput", 0) == 0)
+            pi_locked[i] = wrong.bits[ki++] ? ~0ULL : 0;
+        else
+            pi_locked[i] = pi_orig[oi++];
+    }
+    const auto oo = orig.run(pi_orig);
+    const auto lo = locked.run(pi_locked);
+    bool differs = false;
+    for (std::size_t o = 0; o < oo.size(); ++o)
+        if (oo[o] != lo[o]) differs = true;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Locking, KeyInputNamingConvention) {
+    const Netlist nl = test_circuit();
+    const auto sel = select_gates(nl, 0.1, 53);
+    const Protection prot = apply_camouflage(nl, sel, gshe16(), 53);
+    const LockedCircuit lc = to_locked(prot.netlist);
+    for (std::size_t i = 0; i < lc.key_inputs.size(); ++i)
+        EXPECT_EQ(lc.netlist.gate(lc.key_inputs[i]).name,
+                  "keyinput" + std::to_string(i));
+}
+
+TEST(Locking, EpicXorLocking) {
+    const Netlist nl = test_circuit();
+    const LockedCircuit lc = lock_epic_xor(nl, 24, 59);
+    EXPECT_EQ(lc.key_inputs.size(), 24u);
+    EXPECT_EQ(lc.correct_key.bits.size(), 24u);
+
+    Simulator orig(nl), locked(lc.netlist);
+    Rng rng(16);
+    std::vector<std::uint64_t> pi_orig(nl.inputs().size());
+    for (auto& w : pi_orig) w = rng();
+    std::vector<std::uint64_t> pi_locked(lc.netlist.inputs().size(), 0);
+    std::size_t oi = 0, ki = 0;
+    for (std::size_t i = 0; i < lc.netlist.inputs().size(); ++i) {
+        const auto& name = lc.netlist.gate(lc.netlist.inputs()[i]).name;
+        if (name.rfind("keyinput", 0) == 0)
+            pi_locked[i] = lc.correct_key.bits[ki++] ? ~0ULL : 0;
+        else
+            pi_locked[i] = pi_orig[oi++];
+    }
+    const auto oo = orig.run(pi_orig);
+    const auto lo = locked.run(pi_locked);
+    for (std::size_t o = 0; o < oo.size(); ++o) EXPECT_EQ(oo[o], lo[o]);
+}
+
+}  // namespace
+}  // namespace gshe::camo

@@ -1,0 +1,229 @@
+// Device-level tests: Table I derived quantities, Fig. 3 read-out circuit,
+// switching transients (Fig. 4 behaviour) and the stochastic delay model.
+#include <gtest/gtest.h>
+
+#include "core/characterization.hpp"
+#include "core/gshe_switch.hpp"
+#include "core/stochastic.hpp"
+
+namespace gshe::core {
+namespace {
+
+// ---- Table I derived parameters -----------------------------------------------
+
+TEST(DeviceParams, BetaIsSix) {
+    const GsheSwitchParams p;
+    EXPECT_NEAR(p.beta(), 6.0, 1e-9);
+}
+
+TEST(DeviceParams, HeavyMetalResistanceAboutOneKiloOhm) {
+    const GsheSwitchParams p;
+    EXPECT_NEAR(p.hm_resistance(), 1000.0, 1.0);
+}
+
+TEST(DeviceParams, ParallelConductance420uS) {
+    const GsheSwitchParams p;
+    EXPECT_NEAR(p.gp() * 1e6, 420.0, 0.5);
+}
+
+TEST(DeviceParams, AntiParallelConductance155uS) {
+    const GsheSwitchParams p;
+    EXPECT_NEAR(p.gap() * 1e6, 155.6, 0.5);
+    EXPECT_NEAR(p.gp() / p.gap(), 1.0 + p.tmr, 1e-12);
+}
+
+TEST(DeviceParams, LayoutAreaMatchesFig3) {
+    const GsheSwitchParams p;
+    EXPECT_NEAR(p.area() * 1e12, 0.0016, 1e-6);  // um^2
+}
+
+// ---- Fig. 3 read-out equivalent circuit ----------------------------------------
+
+TEST(Readout, OutputVoltageFormula) {
+    const GsheSwitchParams p;
+    const ReadoutPoint pt = readout_point(p, 20e-6);
+    EXPECT_NEAR(pt.v_out, 20e-6 * p.hm_resistance() / p.beta(), 1e-12);
+    EXPECT_NEAR(pt.v_out * 1e3, 3.333, 0.01);  // mV
+}
+
+TEST(Readout, SupplyVoltageFormula) {
+    const GsheSwitchParams p;
+    const ReadoutPoint pt = readout_point(p, 20e-6);
+    const double expected = (20e-6 / p.beta()) *
+                            (1.0 + p.hm_resistance() * (p.gp() + p.gap())) /
+                            (p.gp() - p.gap());
+    EXPECT_NEAR(pt.v_sup, expected, 1e-12);
+}
+
+TEST(Readout, PowerMatchesPaperValue) {
+    // Paper: 0.2125 uW. Our equivalent circuit with r = 1000 Ohm exactly
+    // gives 0.2095 uW; accept within 3%.
+    const GsheSwitchParams p;
+    const ReadoutPoint pt = readout_point(p, 20e-6);
+    EXPECT_NEAR(pt.power * 1e6, 0.2125, 0.2125 * 0.03);
+}
+
+TEST(Readout, EnergyMatchesPaperValue) {
+    // E = P * 1.55 ns ~ 0.33 fJ.
+    const GsheSwitchParams p;
+    const ReadoutPoint pt = readout_point(p, 20e-6);
+    EXPECT_NEAR(pt.power * kNominalDelay * 1e15, 0.33, 0.33 * 0.05);
+}
+
+TEST(Readout, PowerScalesQuadratically) {
+    const GsheSwitchParams p;
+    const double p1 = readout_point(p, 20e-6).power;
+    const double p2 = readout_point(p, 40e-6).power;
+    EXPECT_NEAR(p2 / p1, 4.0, 1e-9);
+}
+
+TEST(Readout, RejectsNonPositiveCurrent) {
+    EXPECT_THROW(readout_point(GsheSwitchParams{}, 0.0), std::invalid_argument);
+    EXPECT_THROW(readout_point(GsheSwitchParams{}, -1e-6), std::invalid_argument);
+}
+
+// ---- switching transients -------------------------------------------------------
+
+TEST(Switching, DeterministicAtTableICurrent) {
+    const GsheSwitch dev;
+    Rng rng(1);
+    int switched = 0;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+        Rng trial = rng.fork();
+        if (dev.simulate_switching(20e-6, true, trial).switched) ++switched;
+    }
+    EXPECT_EQ(switched, trials);  // Table I: 20 uA guarantees switching
+}
+
+TEST(Switching, MeanDelayNanosecondScale) {
+    const GsheSwitch dev;
+    const DelayDistribution d = characterize_delay(dev, 20e-6, 60, 4242);
+    EXPECT_EQ(d.switched, d.trials);
+    // Paper reports 1.55 ns; our sLLGS reproduction lands at ~2.3 ns
+    // (EXPERIMENTS.md discusses the gap). Assert the nanosecond scale and
+    // a meaningful stochastic spread.
+    EXPECT_GT(d.stats.mean(), 1.0e-9);
+    EXPECT_LT(d.stats.mean(), 4.0e-9);
+    EXPECT_GT(d.stats.stddev(), 0.1e-9);
+}
+
+TEST(Switching, DelayShrinksWithCurrent) {
+    // The headline property of Fig. 4: mean and spread diminish as IS grows.
+    const GsheSwitch dev;
+    const DelayDistribution d20 = characterize_delay(dev, 20e-6, 50, 7);
+    const DelayDistribution d60 = characterize_delay(dev, 60e-6, 50, 7);
+    const DelayDistribution d100 = characterize_delay(dev, 100e-6, 50, 7);
+    EXPECT_GT(d20.stats.mean(), d60.stats.mean());
+    EXPECT_GT(d60.stats.mean(), d100.stats.mean());
+    EXPECT_GT(d20.stats.stddev(), d100.stats.stddev());
+}
+
+TEST(Switching, BothPolaritiesWork) {
+    const GsheSwitch dev;
+    Rng r1(5), r2(5);
+    EXPECT_TRUE(dev.simulate_switching(60e-6, true, r1).switched);
+    EXPECT_TRUE(dev.simulate_switching(60e-6, false, r2).switched);
+}
+
+TEST(Switching, ShortPulseFailsToSwitch) {
+    const GsheSwitch dev;
+    Rng rng(3);
+    const SwitchingResult res =
+        dev.simulate_switching(20e-6, true, rng, /*max_time=*/0.2e-9);
+    EXPECT_FALSE(res.switched);
+}
+
+TEST(Switching, RejectsNonPositiveCurrent) {
+    const GsheSwitch dev;
+    Rng rng(1);
+    EXPECT_THROW(dev.simulate_switching(0.0, true, rng), std::invalid_argument);
+}
+
+TEST(Switching, ResetStateIsAntiParallel) {
+    const GsheSwitch dev;
+    auto sys = dev.make_system();
+    EXPECT_LT(dot(sys.m(0), sys.m(1)), -0.99);
+}
+
+// ---- characterization -----------------------------------------------------------
+
+TEST(Characterization, DeviceMetricsRow) {
+    const GsheSwitch dev;
+    const DeviceMetrics m = characterize_device(dev, 20e-6, 60, 99);
+    EXPECT_EQ(m.functions, 16);
+    EXPECT_NEAR(m.power * 1e6, 0.21, 0.02);
+    EXPECT_GT(m.delay, 1e-9);
+    EXPECT_NEAR(m.energy, m.power * m.delay, 1e-20);
+    EXPECT_NEAR(m.area * 1e12, 0.0016, 1e-6);
+}
+
+TEST(Characterization, HistogramCoversSamples) {
+    const GsheSwitch dev;
+    const DelayDistribution d = characterize_delay(dev, 60e-6, 80, 11);
+    std::uint64_t binned = d.histogram.underflow() + d.histogram.overflow();
+    for (std::size_t i = 0; i < d.histogram.bins(); ++i)
+        binned += d.histogram.count(i);
+    EXPECT_EQ(binned, d.switched);
+}
+
+// ---- stochastic delay model -------------------------------------------------------
+
+TEST(StochasticModel, FitRecoversParameters) {
+    Rng rng(21);
+    std::vector<double> samples;
+    const double mu = std::log(2e-9), sigma = 0.3;
+    for (int i = 0; i < 20000; ++i)
+        samples.push_back(std::exp(rng.gaussian(mu, sigma)));
+    const auto model = SwitchingDelayModel::fit(samples);
+    EXPECT_NEAR(model.mu(), mu, 0.01);
+    EXPECT_NEAR(model.sigma(), sigma, 0.01);
+}
+
+TEST(StochasticModel, AccuracyIsMonotoneCdf) {
+    const SwitchingDelayModel m(std::log(2e-9), 0.4);
+    EXPECT_NEAR(m.accuracy_for_pulse(m.median_delay()), 0.5, 1e-9);
+    EXPECT_LT(m.accuracy_for_pulse(1e-9), m.accuracy_for_pulse(3e-9));
+    EXPECT_NEAR(m.accuracy_for_pulse(100e-9), 1.0, 1e-6);
+    EXPECT_NEAR(m.accuracy_for_pulse(0.0), 0.0, 1e-12);
+}
+
+TEST(StochasticModel, PulseForAccuracyInvertsCdf) {
+    const SwitchingDelayModel m(std::log(2e-9), 0.4);
+    for (double acc : {0.6, 0.9, 0.95, 0.99}) {
+        const double pulse = m.pulse_for_accuracy(acc);
+        EXPECT_NEAR(m.accuracy_for_pulse(pulse), acc, 1e-6);
+    }
+}
+
+TEST(StochasticModel, FitRejectsBadInput) {
+    EXPECT_THROW(SwitchingDelayModel::fit({1e-9}), std::invalid_argument);
+    EXPECT_THROW(SwitchingDelayModel::fit({1e-9, -1e-9}), std::invalid_argument);
+    EXPECT_THROW(SwitchingDelayModel(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(StochasticModel, EndToEndCalibrationFromDevice) {
+    // Fit the lognormal on simulated delays, derive the 95%-accuracy pulse,
+    // and confirm by Monte Carlo that roughly 95% of transients finish.
+    const GsheSwitch dev;
+    Rng rng(31);
+    const auto samples = dev.delay_samples(20e-6, 120, rng);
+    std::vector<double> delays;
+    for (const auto& s : samples)
+        if (s) delays.push_back(*s);
+    ASSERT_GT(delays.size(), 100u);
+    const auto model = SwitchingDelayModel::fit(delays);
+    const double pulse = model.pulse_for_accuracy(0.95);
+
+    int completed = 0;
+    const int trials = 120;
+    for (int t = 0; t < trials; ++t) {
+        Rng trial = rng.fork();
+        if (dev.simulate_switching(20e-6, true, trial, pulse).switched)
+            ++completed;
+    }
+    EXPECT_NEAR(static_cast<double>(completed) / trials, 0.95, 0.08);
+}
+
+}  // namespace
+}  // namespace gshe::core

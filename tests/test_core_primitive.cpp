@@ -1,0 +1,207 @@
+// Tests for the Boolean function algebra and the 16-function polymorphic
+// primitive (Fig. 2 / Fig. 5 behaviour), including exhaustive and
+// parameterized sweeps over the full function space.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/boolean_function.hpp"
+#include "core/primitive.hpp"
+
+namespace gshe::core {
+namespace {
+
+// ---- Bool2 ---------------------------------------------------------------------
+
+TEST(Bool2, TruthTableEncoding) {
+    EXPECT_TRUE(Bool2::AND().eval(true, true));
+    EXPECT_FALSE(Bool2::AND().eval(true, false));
+    EXPECT_TRUE(Bool2::NAND().eval(false, false));
+    EXPECT_FALSE(Bool2::NAND().eval(true, true));
+    EXPECT_TRUE(Bool2::XOR().eval(true, false));
+    EXPECT_FALSE(Bool2::XOR().eval(true, true));
+}
+
+TEST(Bool2, ComplementInvertsEveryRow) {
+    for (Bool2 f : Bool2::all())
+        for (int a = 0; a < 2; ++a)
+            for (int b = 0; b < 2; ++b)
+                EXPECT_NE(f.eval(a, b), f.complement().eval(a, b));
+}
+
+TEST(Bool2, ComplementIsInvolution) {
+    for (Bool2 f : Bool2::all()) EXPECT_EQ(f.complement().complement(), f);
+}
+
+TEST(Bool2, SwappedExchangesInputs) {
+    for (Bool2 f : Bool2::all())
+        for (int a = 0; a < 2; ++a)
+            for (int b = 0; b < 2; ++b)
+                EXPECT_EQ(f.swapped().eval(a, b), f.eval(b, a));
+}
+
+TEST(Bool2, IndependenceDetection) {
+    EXPECT_TRUE(Bool2::A().independent_of_b());
+    EXPECT_TRUE(Bool2::NOT_A().independent_of_b());
+    EXPECT_TRUE(Bool2::TRUE_().independent_of_b());
+    EXPECT_FALSE(Bool2::AND().independent_of_b());
+    EXPECT_TRUE(Bool2::B().independent_of_a());
+    EXPECT_FALSE(Bool2::XOR().independent_of_a());
+}
+
+TEST(Bool2, AllEnumeratesSixteenDistinct) {
+    std::set<std::uint8_t> seen;
+    for (Bool2 f : Bool2::all()) seen.insert(f.truth_table());
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Bool2, NamesRoundTrip) {
+    for (Bool2 f : Bool2::all()) EXPECT_EQ(Bool2::from_name(f.name()), f);
+    EXPECT_EQ(Bool2::from_name("INV"), Bool2::NOT_A());
+    EXPECT_EQ(Bool2::from_name("BUF"), Bool2::A());
+    EXPECT_THROW(Bool2::from_name("GARBAGE"), std::invalid_argument);
+}
+
+TEST(Bool2, DeMorganHolds) {
+    // NAND(a,b) == OR(!a,!b) checked through the truth-table algebra.
+    for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b)
+            EXPECT_EQ(Bool2::NAND().eval(a, b), Bool2::OR().eval(!a, !b));
+}
+
+// ---- Primitive: canonical configs (Fig. 5) -----------------------------------------
+
+class PrimitiveAllFunctions : public ::testing::TestWithParam<std::uint8_t> {};
+
+TEST_P(PrimitiveAllFunctions, CanonicalConfigRealizesFunction) {
+    const Bool2 f(GetParam());
+    const Primitive prim(f);
+    EXPECT_EQ(prim.function(), f) << "config " << prim.config().to_string();
+    for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b)
+            EXPECT_EQ(prim.eval(a, b), f.eval(a, b))
+                << f.name() << "(" << a << "," << b << ")";
+}
+
+TEST_P(PrimitiveAllFunctions, ConfigUsesAllThreeWires) {
+    // Layout uniformity (Sec. III-C): every configuration drives exactly
+    // three current wires — dummies included.
+    const Primitive prim{Bool2(GetParam())};
+    EXPECT_EQ(prim.config().inputs.size(), 3u);
+}
+
+TEST_P(PrimitiveAllFunctions, StochasticEvalAtFullAccuracyIsExact) {
+    const Bool2 f(GetParam());
+    Primitive prim(f);
+    Rng rng(GetParam());
+    for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b)
+            for (int t = 0; t < 16; ++t)
+                EXPECT_EQ(prim.eval_stochastic(a, b, rng), f.eval(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(All16, PrimitiveAllFunctions, ::testing::Range<std::uint8_t>(0, 16),
+                         [](const auto& info) {
+                             return std::string(Bool2(info.param).name());
+                         });
+
+// ---- Primitive: configuration space ---------------------------------------------
+
+TEST(Primitive, ReachableFunctionsAreExactlyAll16) {
+    std::set<std::uint8_t> reachable;
+    for (const PrimitiveConfig& c : Primitive::all_valid_configs())
+        reachable.insert(Primitive::function_of(c).truth_table());
+    EXPECT_EQ(reachable.size(), 16u);
+}
+
+TEST(Primitive, AllThreeWireConfigsAreTieFree) {
+    // Parity argument: three wires each contribute an odd current (+-I), so
+    // the sum is odd and can never be zero — driving all three wires (with
+    // dummies where needed) is exactly what guarantees a resolvable write.
+    const auto configs = Primitive::all_valid_configs();
+    EXPECT_EQ(configs.size(), 6u * 6u * 6u * 6u);  // every combination valid
+    for (const auto& c : configs) EXPECT_TRUE(Primitive::is_valid(c));
+}
+
+TEST(Primitive, CancellingPairLeavesThirdWireInControl) {
+    // A + A' cancel; the third wire decides. This is how the single-input
+    // functions keep a uniform three-wire layout.
+    PrimitiveConfig c{{CurrentSource::A, CurrentSource::NotA, CurrentSource::B},
+                      ReadMode::StaticComp};
+    EXPECT_EQ(Primitive::function_of(c), Bool2::B());
+}
+
+TEST(Primitive, NandNorDifferOnlyInTieBreak) {
+    // Fig. 2: same signal wiring, opposite tie-breaking current X.
+    const auto nand_cfg = Primitive::config_for(Bool2::NAND());
+    const auto nor_cfg = Primitive::config_for(Bool2::NOR());
+    EXPECT_EQ(nand_cfg.inputs[0], nor_cfg.inputs[0]);
+    EXPECT_EQ(nand_cfg.inputs[1], nor_cfg.inputs[1]);
+    EXPECT_NE(nand_cfg.inputs[2], nor_cfg.inputs[2]);
+    EXPECT_EQ(nand_cfg.read, nor_cfg.read);
+}
+
+TEST(Primitive, ComplementaryFunctionsShareWiring) {
+    // Swapping the read voltage polarities complements the function
+    // (Sec. III-C) — AND/NAND, OR/NOR, XOR/XNOR pairs share input wiring.
+    const std::pair<Bool2, Bool2> pairs[] = {
+        {Bool2::NAND(), Bool2::AND()},
+        {Bool2::NOR(), Bool2::OR()},
+        {Bool2::XOR(), Bool2::XNOR()},
+    };
+    for (const auto& [f, g] : pairs) {
+        const auto cf = Primitive::config_for(f);
+        const auto cg = Primitive::config_for(g);
+        EXPECT_EQ(cf.inputs, cg.inputs) << f.name();
+        EXPECT_NE(cf.read, cg.read) << f.name();
+    }
+}
+
+TEST(Primitive, XorClassUsesSignalReadMode) {
+    const auto cfg = Primitive::config_for(Bool2::XOR());
+    EXPECT_TRUE(cfg.read == ReadMode::SignalB || cfg.read == ReadMode::SignalNotB);
+}
+
+TEST(Primitive, StochasticAccuracyIsCalibrated) {
+    Primitive prim(Bool2::NAND());
+    prim.set_accuracy(0.9);
+    Rng rng(77);
+    int wrong = 0;
+    const int trials = 40000;
+    for (int t = 0; t < trials; ++t)
+        if (prim.eval_stochastic(true, true, rng) != prim.eval(true, true))
+            ++wrong;
+    EXPECT_NEAR(static_cast<double>(wrong) / trials, 0.1, 0.01);
+}
+
+TEST(Primitive, AccuracyRangeEnforced) {
+    Primitive prim(Bool2::AND());
+    EXPECT_THROW(prim.set_accuracy(0.5), std::invalid_argument);
+    EXPECT_THROW(prim.set_accuracy(1.2), std::invalid_argument);
+    EXPECT_NO_THROW(prim.set_accuracy(0.95));
+    EXPECT_DOUBLE_EQ(prim.accuracy(), 0.95);
+}
+
+TEST(Primitive, ConfigToStringMentionsSources) {
+    const Primitive prim(Bool2::NAND());
+    const std::string s = prim.config().to_string();
+    EXPECT_NE(s.find('A'), std::string::npos);
+    EXPECT_NE(s.find('B'), std::string::npos);
+    EXPECT_NE(s.find("read="), std::string::npos);
+}
+
+TEST(Primitive, FunctionOfMatchesEvaluateForAllConfigs) {
+    // Property: function_of is the truth table of evaluate, for every valid
+    // terminal assignment.
+    for (const PrimitiveConfig& c : Primitive::all_valid_configs()) {
+        const Bool2 f = Primitive::function_of(c);
+        for (int a = 0; a < 2; ++a)
+            for (int b = 0; b < 2; ++b)
+                ASSERT_EQ(Primitive::evaluate(c, a, b), f.eval(a, b))
+                    << c.to_string();
+    }
+}
+
+}  // namespace
+}  // namespace gshe::core

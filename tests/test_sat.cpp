@@ -1,0 +1,418 @@
+// Tests for the CDCL SAT solver, the Tseitin encoder and DIMACS I/O:
+// unit-level behaviours, brute-force cross-checks on random formulas,
+// structured UNSAT instances, budgets, and encoder/simulator consistency.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/simulator.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+#include "sat/tseitin.hpp"
+
+namespace gshe::sat {
+namespace {
+
+using Result = Solver::Result;
+
+// ---- Lit / types ---------------------------------------------------------------
+
+TEST(Lit, PackingAndNegation) {
+    const Lit a(5, false);
+    EXPECT_EQ(a.var(), 5);
+    EXPECT_FALSE(a.negated());
+    EXPECT_TRUE((~a).negated());
+    EXPECT_EQ((~a).var(), 5);
+    EXPECT_EQ(~~a, a);
+    EXPECT_EQ(a.code(), 10);
+    EXPECT_EQ((~a).code(), 11);
+}
+
+TEST(LBool, Negation) {
+    EXPECT_EQ(negate(LBool::True), LBool::False);
+    EXPECT_EQ(negate(LBool::False), LBool::True);
+    EXPECT_EQ(negate(LBool::Undef), LBool::Undef);
+}
+
+// ---- solver basics ---------------------------------------------------------------
+
+TEST(Solver, EmptyFormulaIsSat) {
+    Solver s;
+    EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Solver, UnitPropagationChain) {
+    Solver s;
+    const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+    s.add_clause(Lit(a, false));
+    s.add_clause(Lit(a, true), Lit(b, false));
+    s.add_clause(Lit(b, true), Lit(c, false));
+    ASSERT_EQ(s.solve(), Result::Sat);
+    EXPECT_TRUE(s.model_bool(a));
+    EXPECT_TRUE(s.model_bool(b));
+    EXPECT_TRUE(s.model_bool(c));
+}
+
+TEST(Solver, ContradictingUnitsAreUnsat) {
+    Solver s;
+    const Var a = s.new_var();
+    EXPECT_TRUE(s.add_clause(Lit(a, false)));
+    EXPECT_FALSE(s.add_clause(Lit(a, true)));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Solver, TautologyIgnored) {
+    Solver s;
+    const Var a = s.new_var();
+    EXPECT_TRUE(s.add_clause(Clause{Lit(a, false), Lit(a, true)}));
+    EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Solver, DuplicateLiteralsCollapse) {
+    Solver s;
+    const Var a = s.new_var();
+    s.add_clause(Clause{Lit(a, false), Lit(a, false), Lit(a, false)});
+    ASSERT_EQ(s.solve(), Result::Sat);
+    EXPECT_TRUE(s.model_bool(a));
+}
+
+TEST(Solver, SimpleUnsatCore) {
+    // (a|b) & (a|!b) & (!a|b) & (!a|!b) is UNSAT.
+    Solver s;
+    const Var a = s.new_var(), b = s.new_var();
+    s.add_clause(Lit(a, false), Lit(b, false));
+    s.add_clause(Lit(a, false), Lit(b, true));
+    s.add_clause(Lit(a, true), Lit(b, false));
+    s.add_clause(Lit(a, true), Lit(b, true));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Solver, XorChainSatisfiable) {
+    // x0 ^ x1 ^ ... ^ x9 = 1 encoded through fresh XOR outputs.
+    Solver s;
+    std::vector<Var> xs;
+    for (int i = 0; i < 10; ++i) xs.push_back(s.new_var());
+    Var acc = xs[0];
+    for (int i = 1; i < 10; ++i) acc = add_xor(s, acc, xs[i]);
+    s.add_clause(Lit(acc, false));
+    ASSERT_EQ(s.solve(), Result::Sat);
+    bool parity = false;
+    for (Var v : xs) parity ^= s.model_bool(v);
+    EXPECT_TRUE(parity);
+}
+
+TEST(Solver, PigeonholeUnsat) {
+    // PHP(n+1, n): classic resolution-hard family; n=5 stays fast.
+    const int holes = 5, pigeons = 6;
+    Solver s;
+    std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+    for (auto& row : x)
+        for (auto& v : row) v = s.new_var();
+    for (int p = 0; p < pigeons; ++p) {
+        Clause c;
+        for (int h = 0; h < holes; ++h) c.push_back(Lit(x[p][h], false));
+        s.add_clause(c);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.add_clause(Lit(x[p1][h], true), Lit(x[p2][h], true));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    EXPECT_GT(s.stats().conflicts, 10u);
+}
+
+TEST(Solver, AssumptionsSelectBranches) {
+    Solver s;
+    const Var a = s.new_var(), b = s.new_var();
+    s.add_clause(Lit(a, false), Lit(b, false));  // a | b
+    ASSERT_EQ(s.solve({Lit(a, true)}), Result::Sat);  // assume !a
+    EXPECT_TRUE(s.model_bool(b));
+    ASSERT_EQ(s.solve({Lit(b, true)}), Result::Sat);  // assume !b
+    EXPECT_TRUE(s.model_bool(a));
+    EXPECT_EQ(s.solve({Lit(a, true), Lit(b, true)}), Result::Unsat);
+    // The solver remains usable after assumption-UNSAT.
+    EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Solver, IncrementalClauseAddition) {
+    Solver s;
+    const Var a = s.new_var(), b = s.new_var();
+    s.add_clause(Lit(a, false), Lit(b, false));
+    ASSERT_EQ(s.solve(), Result::Sat);
+    s.add_clause(Lit(a, true));
+    ASSERT_EQ(s.solve(), Result::Sat);
+    EXPECT_TRUE(s.model_bool(b));
+    s.add_clause(Lit(b, true));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Solver, ConflictBudgetReturnsUnknown) {
+    // A hard instance with a 1-conflict budget must give up.
+    const int holes = 8, pigeons = 9;
+    Solver s;
+    std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+    for (auto& row : x)
+        for (auto& v : row) v = s.new_var();
+    for (int p = 0; p < pigeons; ++p) {
+        Clause c;
+        for (int h = 0; h < holes; ++h) c.push_back(Lit(x[p][h], false));
+        s.add_clause(c);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.add_clause(Lit(x[p1][h], true), Lit(x[p2][h], true));
+    Solver::Budget budget;
+    budget.max_conflicts = 1;
+    s.set_budget(budget);
+    EXPECT_EQ(s.solve(), Result::Unknown);
+}
+
+TEST(Solver, TimeBudgetReturnsUnknown) {
+    const int holes = 11, pigeons = 12;  // too hard for a microsecond
+    Solver s;
+    std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+    for (auto& row : x)
+        for (auto& v : row) v = s.new_var();
+    for (int p = 0; p < pigeons; ++p) {
+        Clause c;
+        for (int h = 0; h < holes; ++h) c.push_back(Lit(x[p][h], false));
+        s.add_clause(c);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.add_clause(Lit(x[p1][h], true), Lit(x[p2][h], true));
+    Solver::Budget budget;
+    budget.max_seconds = 1e-6;
+    s.set_budget(budget);
+    EXPECT_EQ(s.solve(), Result::Unknown);
+}
+
+TEST(Solver, StatsAreRecorded) {
+    Solver s;
+    const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+    s.add_clause(Lit(a, false), Lit(b, false), Lit(c, false));
+    s.add_clause(Lit(a, true), Lit(b, true));
+    ASSERT_EQ(s.solve(), Result::Sat);
+    EXPECT_GT(s.stats().decisions + s.stats().propagations, 0u);
+}
+
+// ---- brute-force cross-check, parameterized over solver configurations ------------
+
+struct SolverConfig {
+    const char* name;
+    Solver::Options opts;
+};
+
+class SolverCrossCheck : public ::testing::TestWithParam<SolverConfig> {};
+
+bool brute_force_sat(const std::vector<Clause>& clauses, int nv) {
+    for (int m = 0; m < (1 << nv); ++m) {
+        bool all = true;
+        for (const auto& c : clauses) {
+            bool sat = false;
+            for (Lit l : c) {
+                const bool val = ((m >> l.var()) & 1) != 0;
+                if (l.negated() ? !val : val) {
+                    sat = true;
+                    break;
+                }
+            }
+            if (!sat) {
+                all = false;
+                break;
+            }
+        }
+        if (all) return true;
+    }
+    return false;
+}
+
+TEST_P(SolverCrossCheck, RandomThreeSatAgreesWithBruteForce) {
+    Rng rng(static_cast<std::uint64_t>(
+        std::hash<std::string>{}(GetParam().name)));
+    for (int trial = 0; trial < 400; ++trial) {
+        const int nv = 4 + static_cast<int>(rng.below(8));
+        const int nc = static_cast<int>(nv * (3.0 + rng.uniform() * 2.5));
+        std::vector<Clause> clauses;
+        for (int i = 0; i < nc; ++i) {
+            Clause c;
+            for (int j = 0; j < 3; ++j)
+                c.push_back(Lit(static_cast<Var>(rng.below(nv)), rng.bernoulli(0.5)));
+            clauses.push_back(c);
+        }
+        Solver s(GetParam().opts);
+        for (int v = 0; v < nv; ++v) s.new_var();
+        bool ok = true;
+        for (const auto& c : clauses)
+            if (!s.add_clause(c)) {
+                ok = false;
+                break;
+            }
+        const Result r = ok ? s.solve() : Result::Unsat;
+        const bool expect = brute_force_sat(clauses, nv);
+        ASSERT_EQ(r == Result::Sat, expect) << "trial " << trial;
+        if (r == Result::Sat) {
+            for (const auto& c : clauses) {
+                bool sat = false;
+                for (Lit l : c)
+                    if (l.negated() ? !s.model_bool(l.var()) : s.model_bool(l.var()))
+                        sat = true;
+                ASSERT_TRUE(sat) << "invalid model, trial " << trial;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, SolverCrossCheck,
+    ::testing::Values(
+        SolverConfig{"default", {}},
+        SolverConfig{"no_vsids", {.use_vsids = false}},
+        SolverConfig{"no_restarts", {.use_restarts = false}},
+        SolverConfig{"no_phase_saving", {.use_phase_saving = false}},
+        SolverConfig{"no_learning", {.use_learning = false}}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// ---- Tseitin encoder ---------------------------------------------------------------
+
+TEST(Tseitin, CircuitConsistentWithSimulator) {
+    netlist::RandomSpec spec;
+    spec.n_inputs = 14;
+    spec.n_outputs = 10;
+    spec.n_gates = 150;
+    spec.seed = 21;
+    const netlist::Netlist nl = netlist::random_circuit(spec);
+    const netlist::Simulator sim(nl);
+    Rng rng(6);
+    for (int t = 0; t < 30; ++t) {
+        Solver s;
+        const CircuitEncoding enc = encode_circuit(s, nl);
+        std::vector<Lit> assume;
+        std::vector<bool> pi(nl.inputs().size());
+        for (std::size_t i = 0; i < pi.size(); ++i) {
+            pi[i] = rng.bernoulli(0.5);
+            assume.push_back(Lit(enc.pis[i], !pi[i]));
+        }
+        ASSERT_EQ(s.solve(assume), Result::Sat);
+        const auto expect = sim.run_single(pi);
+        for (std::size_t o = 0; o < expect.size(); ++o)
+            ASSERT_EQ(s.model_bool(enc.outs[o]), expect[o]);
+    }
+}
+
+TEST(Tseitin, CamoGateKeySelectsFunction) {
+    using core::Bool2;
+    netlist::Netlist nl("t");
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto g = nl.add_gate(Bool2::AND(), a, b);
+    nl.add_output(g, "y");
+    nl.camouflage(g, {Bool2::AND(), Bool2::OR(), Bool2::XOR()}, "lib");
+
+    Solver s;
+    const CircuitEncoding enc = encode_circuit(s, nl);
+    ASSERT_EQ(enc.keys.size(), 2u);
+    // For each valid key code, outputs must match the selected candidate.
+    const Bool2 cands[] = {Bool2::AND(), Bool2::OR(), Bool2::XOR()};
+    for (int code = 0; code < 3; ++code) {
+        for (int va = 0; va < 2; ++va)
+            for (int vb = 0; vb < 2; ++vb) {
+                std::vector<Lit> assume = {
+                    Lit(enc.keys[0], (code & 1) == 0),
+                    Lit(enc.keys[1], (code & 2) == 0),
+                    Lit(enc.pis[0], va == 0),
+                    Lit(enc.pis[1], vb == 0),
+                };
+                ASSERT_EQ(s.solve(assume), Result::Sat);
+                ASSERT_EQ(s.model_bool(enc.outs[0]),
+                          cands[code].eval(va != 0, vb != 0))
+                    << "code " << code << " a " << va << " b " << vb;
+            }
+    }
+    // The unused code 3 is forbidden.
+    EXPECT_EQ(s.solve({Lit(enc.keys[0], false), Lit(enc.keys[1], false)}),
+              Result::Unsat);
+}
+
+TEST(Tseitin, SharedPisCoupleInstances) {
+    netlist::RandomSpec spec;
+    spec.n_inputs = 8;
+    spec.n_outputs = 4;
+    spec.n_gates = 40;
+    spec.seed = 31;
+    const netlist::Netlist nl = netlist::random_circuit(spec);
+    Solver s;
+    const auto e1 = encode_circuit(s, nl);
+    const auto e2 = encode_circuit(s, nl, e1.pis);
+    // Two copies of the same plain circuit on the same inputs can never
+    // differ: forcing a difference must be UNSAT.
+    add_difference(s, e1.outs, e2.outs);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Tseitin, RejectsSequentialNetlists) {
+    netlist::Netlist nl("seq");
+    const auto d = nl.add_input("d");
+    nl.add_dff(d, "ff");
+    Solver s;
+    EXPECT_THROW(encode_circuit(s, nl), std::invalid_argument);
+}
+
+TEST(Tseitin, HelperGates) {
+    Solver s;
+    const Var a = s.new_var(), b = s.new_var();
+    const Var y = add_xor(s, a, b);
+    const Var o = add_or(s, {a, b});
+    for (int m = 0; m < 4; ++m) {
+        const bool va = m & 1, vb = m & 2;
+        ASSERT_EQ(s.solve({Lit(a, !va), Lit(b, !vb)}), Result::Sat);
+        EXPECT_EQ(s.model_bool(y), va != vb);
+        EXPECT_EQ(s.model_bool(o), va || vb);
+    }
+}
+
+TEST(Tseitin, FixVarPinsValue) {
+    Solver s;
+    const Var v = s.new_var();
+    fix_var(s, v, true);
+    ASSERT_EQ(s.solve(), Result::Sat);
+    EXPECT_TRUE(s.model_bool(v));
+    EXPECT_EQ(s.solve({Lit(v, true)}), Result::Unsat);
+}
+
+// ---- DIMACS ---------------------------------------------------------------------
+
+TEST(Dimacs, RoundTrip) {
+    CnfFormula f;
+    f.num_vars = 3;
+    f.clauses = {{Lit(0, false), Lit(1, true)}, {Lit(2, false)}};
+    std::ostringstream out;
+    write_dimacs(out, f);
+    const CnfFormula g = read_dimacs_string(out.str());
+    EXPECT_EQ(g.num_vars, 3);
+    ASSERT_EQ(g.clauses.size(), 2u);
+    EXPECT_EQ(g.clauses[0], f.clauses[0]);
+    EXPECT_EQ(g.clauses[1], f.clauses[1]);
+}
+
+TEST(Dimacs, ParsesCommentsAndHeader) {
+    const CnfFormula f = read_dimacs_string(
+        "c a comment\np cnf 2 2\n1 -2 0\n2 0\n");
+    EXPECT_EQ(f.num_vars, 2);
+    ASSERT_EQ(f.clauses.size(), 2u);
+    Solver s;
+    EXPECT_TRUE(load_into_solver(f, s));
+    ASSERT_EQ(s.solve(), Result::Sat);
+    EXPECT_TRUE(s.model_bool(1));  // var 2 (1-based) forced true
+}
+
+TEST(Dimacs, RejectsUnterminatedClause) {
+    EXPECT_THROW(read_dimacs_string("p cnf 2 1\n1 -2\n"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gshe::sat

@@ -1,0 +1,325 @@
+// Unit and property tests for the macrospin physics substrate: demag
+// factors, material parameters, thermal field, and the sLLGS integrators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "spin/constants.hpp"
+#include "spin/demag.hpp"
+#include "spin/llgs.hpp"
+#include "spin/material.hpp"
+#include "spin/thermal.hpp"
+
+namespace gshe::spin {
+namespace {
+
+// ---- demag ------------------------------------------------------------------
+
+TEST(Demag, FactorsSumToOne) {
+    const Vec3 n = prism_demag_factors(28e-9, 15e-9, 2e-9);
+    EXPECT_NEAR(n.x + n.y + n.z, 1.0, 1e-9);
+}
+
+TEST(Demag, CubeIsIsotropic) {
+    const Vec3 n = prism_demag_factors(10e-9, 10e-9, 10e-9);
+    EXPECT_NEAR(n.x, 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(n.y, 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(n.z, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Demag, ThinFilmDominatedByNormal) {
+    const Vec3 n = prism_demag_factors(100e-9, 100e-9, 1e-9);
+    EXPECT_GT(n.z, 0.9);
+    EXPECT_LT(n.x, 0.05);
+}
+
+TEST(Demag, LongestAxisHasSmallestFactor) {
+    const Vec3 n = prism_demag_factors(28e-9, 15e-9, 2e-9);
+    EXPECT_LT(n.x, n.y);
+    EXPECT_LT(n.y, n.z);
+}
+
+TEST(Demag, ScaleInvariant) {
+    const Vec3 a = prism_demag_factors(28e-9, 15e-9, 2e-9);
+    const Vec3 b = prism_demag_factors(28e-6, 15e-6, 2e-6);
+    EXPECT_NEAR(a.x, b.x, 1e-12);
+    EXPECT_NEAR(a.y, b.y, 1e-12);
+    EXPECT_NEAR(a.z, b.z, 1e-12);
+}
+
+TEST(Demag, RejectsNonPositiveEdges) {
+    EXPECT_THROW(prism_demag_factors(0.0, 1e-9, 1e-9), std::invalid_argument);
+    EXPECT_THROW(prism_demag_factors(1e-9, -1e-9, 1e-9), std::invalid_argument);
+}
+
+// ---- material ------------------------------------------------------------------
+
+TEST(Material, Table1Volumes) {
+    const Nanomagnet w = write_nanomagnet_table1();
+    EXPECT_NEAR(w.volume(), 28e-9 * 15e-9 * 2e-9, 1e-33);
+    EXPECT_NEAR(w.geometry.area(), 28e-9 * 15e-9, 1e-25);
+}
+
+TEST(Material, AnisotropyFieldOfWriteMagnet) {
+    const Nanomagnet w = write_nanomagnet_table1();
+    // H_k = 2 Ku / (mu0 Ms) = 2*2.5e4 / (mu0 * 1e6) ~ 39.8 kA/m.
+    EXPECT_NEAR(w.anisotropy_field(), 2.0 * 2.5e4 / (kMu0 * 1e6), 1.0);
+}
+
+TEST(Material, ReadMagnetIsSofter) {
+    const Nanomagnet w = write_nanomagnet_table1();
+    const Nanomagnet r = read_nanomagnet_table1();
+    EXPECT_LT(r.ku, w.ku);
+    EXPECT_LT(r.ms, w.ms);
+    EXPECT_LT(r.thermal_stability(), w.thermal_stability());
+}
+
+TEST(Material, CrystallineThermalStabilityAt300K) {
+    // Ku V / kT = 2.5e4 * 8.4e-25 / (kB * 300) ~ 5.07.
+    const Nanomagnet w = write_nanomagnet_table1();
+    EXPECT_NEAR(w.thermal_stability(300.0), 5.07, 0.05);
+}
+
+TEST(Material, WithDemagFillsFactors) {
+    const Nanomagnet w = write_nanomagnet_table1();
+    EXPECT_GT(w.demag_n.z, 0.5);
+    EXPECT_NEAR(w.demag_n.x + w.demag_n.y + w.demag_n.z, 1.0, 1e-9);
+}
+
+// ---- thermal field -----------------------------------------------------------
+
+TEST(Thermal, SigmaScalesWithSqrtTemperature) {
+    const Nanomagnet w = write_nanomagnet_table1();
+    const double s300 = thermal_field_sigma(w, 300.0, 1e-12);
+    const double s75 = thermal_field_sigma(w, 75.0, 1e-12);
+    EXPECT_NEAR(s300 / s75, 2.0, 1e-9);
+}
+
+TEST(Thermal, SigmaScalesInverseSqrtTimestep) {
+    const Nanomagnet w = write_nanomagnet_table1();
+    const double s1 = thermal_field_sigma(w, 300.0, 1e-12);
+    const double s4 = thermal_field_sigma(w, 300.0, 4e-12);
+    EXPECT_NEAR(s1 / s4, 2.0, 1e-9);
+}
+
+TEST(Thermal, SampleIsZeroMeanIsotropic) {
+    const Nanomagnet w = write_nanomagnet_table1();
+    Rng rng(5);
+    RunningStats sx, sy, sz;
+    for (int i = 0; i < 20000; ++i) {
+        const Vec3 h = sample_thermal_field(w, 300.0, 1e-12, rng);
+        sx.add(h.x);
+        sy.add(h.y);
+        sz.add(h.z);
+    }
+    const double sigma = thermal_field_sigma(w, 300.0, 1e-12);
+    EXPECT_NEAR(sx.mean() / sigma, 0.0, 0.05);
+    EXPECT_NEAR(sx.stddev() / sigma, 1.0, 0.05);
+    EXPECT_NEAR(sy.stddev() / sigma, 1.0, 0.05);
+    EXPECT_NEAR(sz.stddev() / sigma, 1.0, 0.05);
+}
+
+// ---- LLGS dynamics ---------------------------------------------------------------
+
+LlgsSystem single_magnet_system(double alpha = 0.01) {
+    Nanomagnet m = write_nanomagnet_table1();
+    m.alpha = alpha;
+    LlgsSystem sys({m});
+    sys.set_temperature(0.0);
+    return sys;
+}
+
+TEST(Llgs, MagnetizationStaysUnit) {
+    LlgsSystem sys = single_magnet_system();
+    sys.set_m(0, normalized(Vec3{1, 0.3, 0.2}));
+    for (int i = 0; i < 2000; ++i) sys.step_rk4(1e-12);
+    EXPECT_NEAR(norm(sys.m(0)), 1.0, 1e-12);
+}
+
+TEST(Llgs, EnergyConservedWithoutDampingOrDrive) {
+    Nanomagnet m = write_nanomagnet_table1();
+    m.alpha = 0.0;
+    LlgsSystem sys({m});
+    sys.set_temperature(0.0);
+    sys.set_m(0, normalized(Vec3{1, 0.4, 0.1}));
+    const double e0 = sys.energy();
+    for (int i = 0; i < 5000; ++i) sys.step_rk4(0.5e-12);
+    // Relative drift bounded by integrator accuracy.
+    EXPECT_NEAR(sys.energy() / e0, 1.0, 1e-6);
+}
+
+TEST(Llgs, DampingRelaxesToEasyAxis) {
+    LlgsSystem sys = single_magnet_system(0.1);
+    sys.set_m(0, normalized(Vec3{1, 0.8, 0.3}));
+    for (int i = 0; i < 60000; ++i) sys.step_rk4(1e-12);
+    EXPECT_GT(std::abs(sys.m(0).x), 0.999);
+}
+
+TEST(Llgs, DampingDecreasesEnergyMonotonically) {
+    LlgsSystem sys = single_magnet_system(0.05);
+    sys.set_m(0, normalized(Vec3{1, 0.6, 0.2}));
+    double prev = sys.energy();
+    for (int block = 0; block < 20; ++block) {
+        for (int i = 0; i < 500; ++i) sys.step_rk4(1e-12);
+        const double e = sys.energy();
+        EXPECT_LE(e, prev + std::abs(prev) * 1e-9);
+        prev = e;
+    }
+}
+
+TEST(Llgs, PrecessionFrequencyMatchesLarmor) {
+    // Single spin in a pure applied field: precession at gamma*mu0*H.
+    Nanomagnet m = write_nanomagnet_table1();
+    m.alpha = 0.0;
+    m.ku = 0.0;
+    m.demag_n = {0, 0, 0};
+    LlgsSystem sys({m});
+    sys.set_temperature(0.0);
+    const double h = 1e5;  // A/m along z
+    sys.set_applied_field({0, 0, h});
+    sys.set_m(0, {1, 0, 0});
+    // Track the first return of m_y to 0 from above (half period).
+    const double dt = 1e-14;
+    double t_half = 0.0;
+    bool was_positive = false;
+    for (int i = 1; i < 2000000; ++i) {
+        sys.step_rk4(dt);
+        if (sys.m(0).y > 0.5) was_positive = true;
+        if (was_positive && sys.m(0).y < 0.0 && sys.m(0).x < 0.0) {
+            t_half = i * dt;
+            break;
+        }
+    }
+    ASSERT_GT(t_half, 0.0);
+    const double period_expected =
+        2.0 * std::numbers::pi / (kGyromagneticRatio * kMu0 * h);
+    EXPECT_NEAR(2.0 * t_half / period_expected, 1.0, 0.05);
+}
+
+TEST(Llgs, SttFieldMagnitudeFormula) {
+    LlgsSystem sys = single_magnet_system();
+    SpinTorque t;
+    t.polarization = {1, 0, 0};
+    t.spin_current = 20e-6;
+    sys.set_torque(0, t);
+    const Nanomagnet& m = sys.magnet(0);
+    const double expected = kHbar * 20e-6 /
+                            (2.0 * kElementaryCharge * kMu0 * m.ms * m.volume());
+    EXPECT_NEAR(sys.stt_field_magnitude(0), expected, expected * 1e-12);
+    // ~6.2 kA/m for Table I parameters.
+    EXPECT_NEAR(sys.stt_field_magnitude(0), 6236.0, 60.0);
+}
+
+TEST(Llgs, SttSwitchesMagnetAgainstEasyAxis) {
+    LlgsSystem sys = single_magnet_system(0.004);
+    sys.set_m(0, normalized(Vec3{-1, 0.05, 0.02}));  // small initial tilt
+    SpinTorque t;
+    t.polarization = {1, 0, 0};
+    t.spin_current = 60e-6;
+    sys.set_torque(0, t);
+    for (int i = 0; i < 20000; ++i) sys.step_rk4(1e-12);
+    EXPECT_GT(sys.m(0).x, 0.9);
+}
+
+TEST(Llgs, SubThresholdCurrentDoesNotSwitch) {
+    LlgsSystem sys = single_magnet_system(0.004);
+    sys.set_m(0, normalized(Vec3{-1, 0.05, 0.02}));
+    SpinTorque t;
+    t.polarization = {1, 0, 0};
+    t.spin_current = 0.5e-6;  // far below the deterministic threshold
+    sys.set_torque(0, t);
+    for (int i = 0; i < 20000; ++i) sys.step_rk4(1e-12);
+    EXPECT_LT(sys.m(0).x, -0.9);
+}
+
+TEST(Llgs, DipolarPairPrefersAntiParallel) {
+    LlgsSystem sys({write_nanomagnet_table1(), read_nanomagnet_table1()});
+    sys.set_temperature(0.0);
+    sys.couple_dipolar_pair(0, 1, 12e-9);
+    sys.set_m(0, {1, 0, 0});
+    sys.set_m(1, {-1, 0, 0});
+    const double e_anti = sys.energy();
+    sys.set_m(1, {1, 0, 0});
+    const double e_para = sys.energy();
+    EXPECT_LT(e_anti, e_para);
+}
+
+TEST(Llgs, CoupledReadMagnetFollowsWriteMagnet) {
+    LlgsSystem sys({write_nanomagnet_table1(), read_nanomagnet_table1()});
+    sys.set_temperature(0.0);
+    sys.couple_dipolar_pair(0, 1, 12e-9);
+    sys.set_m(0, normalized(Vec3{-1, 0.05, 0.02}));
+    sys.set_m(1, normalized(Vec3{1, -0.05, 0.01}));
+    SpinTorque t;
+    t.polarization = {1, 0, 0};
+    t.spin_current = 60e-6;
+    sys.set_torque(0, t);
+    for (int i = 0; i < 40000; ++i) sys.step_rk4(1e-12);
+    EXPECT_GT(sys.m(0).x, 0.9);   // W switched +x
+    EXPECT_LT(sys.m(1).x, -0.9);  // R anti-parallel
+}
+
+TEST(Llgs, ThermalEquilibriumSamplingHasExpectedSpread) {
+    LlgsSystem sys({write_nanomagnet_table1()});
+    sys.set_temperature(300.0);
+    Rng rng(9);
+    RunningStats sy, sz;
+    for (int i = 0; i < 4000; ++i) {
+        sys.set_m(0, {1, 0, 0});
+        sys.sample_thermal_equilibrium(rng);
+        sy.add(sys.m(0).y);
+        sz.add(sys.m(0).z);
+    }
+    // In-plane mode is softer than out-of-plane: larger spread.
+    EXPECT_GT(sy.stddev(), sz.stddev());
+    EXPECT_GT(sy.stddev(), 0.05);
+    EXPECT_LT(sy.stddev(), 0.5);
+    EXPECT_NEAR(sy.mean(), 0.0, 0.02);
+}
+
+TEST(Llgs, HeunAtZeroTemperatureTracksRk4) {
+    LlgsSystem a = single_magnet_system(0.02);
+    LlgsSystem b = single_magnet_system(0.02);
+    a.set_temperature(0.0);
+    b.set_temperature(0.0);
+    const Vec3 m0 = normalized(Vec3{1, 0.3, 0.1});
+    a.set_m(0, m0);
+    b.set_m(0, m0);
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        a.step_heun(0.25e-12, rng);
+        b.step_rk4(0.25e-12);
+    }
+    EXPECT_NEAR(a.m(0).x, b.m(0).x, 5e-3);
+    EXPECT_NEAR(a.m(0).y, b.m(0).y, 5e-3);
+    EXPECT_NEAR(a.m(0).z, b.m(0).z, 5e-3);
+}
+
+TEST(Llgs, FieldLikeTorqueActsAsAppliedField) {
+    // With pure field-like torque (no Slonczewski term influence beyond the
+    // added field), equilibrium tilts toward the polarization.
+    Nanomagnet m = write_nanomagnet_table1();
+    m.alpha = 0.1;
+    LlgsSystem with_flt({m});
+    with_flt.set_temperature(0.0);
+    with_flt.set_m(0, {1, 0, 0});
+    SpinTorque t;
+    t.polarization = {0, 1, 0};
+    t.spin_current = 100e-6;
+    t.field_like_ratio = 0.5;
+    with_flt.set_torque(0, t);
+    for (int i = 0; i < 50000; ++i) with_flt.step_rk4(1e-12);
+    EXPECT_GT(with_flt.m(0).y, 0.01);  // tilted toward +y
+}
+
+TEST(Llgs, ConstructionValidation) {
+    EXPECT_THROW(LlgsSystem({}), std::invalid_argument);
+    LlgsSystem sys({write_nanomagnet_table1()});
+    EXPECT_THROW(sys.set_coupling(0, 0, 1.0), std::invalid_argument);
+    EXPECT_THROW(sys.couple_dipolar_pair(0, 0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gshe::spin

@@ -1,0 +1,235 @@
+// Tests for static timing analysis, path statistics (Fig. 6 machinery) and
+// the delay-aware GSHE replacement pass.
+#include <gtest/gtest.h>
+
+#include "camo/cell_library.hpp"
+#include "camo/protect.hpp"
+#include "netlist/corpus.hpp"
+#include "netlist/generator.hpp"
+#include "sta/delay_aware.hpp"
+#include "sta/sta.hpp"
+
+namespace gshe::sta {
+namespace {
+
+using core::Bool2;
+using netlist::GateId;
+using netlist::Netlist;
+
+// ---- delay model ------------------------------------------------------------------
+
+TEST(DelayModel, ClassifiesGateTypes) {
+    Netlist nl("d");
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const DelayModel m;
+    EXPECT_DOUBLE_EQ(m.gate_delay(nl.gate(nl.add_unary(Bool2::NOT_A(), a))), m.inv_s);
+    EXPECT_DOUBLE_EQ(m.gate_delay(nl.gate(nl.add_gate(Bool2::NAND(), a, b))), m.nand_s);
+    EXPECT_DOUBLE_EQ(m.gate_delay(nl.gate(nl.add_gate(Bool2::XOR(), a, b))), m.xor_s);
+    EXPECT_DOUBLE_EQ(m.gate_delay(nl.gate(nl.add_gate(Bool2::AND(), a, b))), m.and_s);
+    EXPECT_DOUBLE_EQ(m.gate_delay(nl.gate(a)), 0.0);  // inputs are free
+}
+
+TEST(DelayModel, CamouflagedGateIsGshe) {
+    Netlist nl("d");
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto g = nl.add_gate(Bool2::NAND(), a, b);
+    nl.add_output(g, "y");
+    nl.camouflage(g, camo::gshe16().functions, "gshe16");
+    const DelayModel m;
+    EXPECT_DOUBLE_EQ(m.gate_delay(nl.gate(g)), m.gshe_s);
+    EXPECT_NEAR(m.gshe_s, 1.55e-9, 1e-15);
+}
+
+// ---- STA ---------------------------------------------------------------------------
+
+Netlist chain_circuit(int length) {
+    Netlist nl("chain");
+    GateId node = nl.add_input("a");
+    const GateId b = nl.add_input("b");
+    for (int i = 0; i < length; ++i)
+        node = nl.add_gate(Bool2::NAND(), node, b);
+    nl.add_output(node, "y");
+    return nl;
+}
+
+TEST(Sta, ChainArrivalAccumulates) {
+    const Netlist nl = chain_circuit(10);
+    const DelayModel m;
+    const TimingReport rep = analyze(nl, gate_delays(nl, m));
+    EXPECT_NEAR(rep.critical_delay, 10 * m.nand_s, 1e-15);
+    EXPECT_EQ(rep.critical_path.size(), 11u);  // input + 10 gates
+}
+
+TEST(Sta, SlackZeroOnCriticalPath) {
+    const Netlist nl = chain_circuit(5);
+    const TimingReport rep = analyze(nl, gate_delays(nl, {}));
+    for (GateId id : rep.critical_path) {
+        if (nl.gate(id).type == netlist::CellType::Logic) {
+            EXPECT_NEAR(rep.slack(id), 0.0, 1e-15);
+        }
+    }
+}
+
+TEST(Sta, SideBranchHasSlack) {
+    // Two reconvergent branches of different lengths.
+    Netlist nl("branch");
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    GateId lhs = a;
+    for (int i = 0; i < 6; ++i) lhs = nl.add_gate(Bool2::NAND(), lhs, b);
+    const GateId rhs = nl.add_gate(Bool2::NAND(), a, b);  // short branch
+    const GateId join = nl.add_gate(Bool2::AND(), lhs, rhs);
+    nl.add_output(join, "y");
+    const TimingReport rep = analyze(nl, gate_delays(nl, {}));
+    EXPECT_GT(rep.slack(rhs), 0.0);
+    EXPECT_NEAR(rep.slack(join), 0.0, 1e-15);
+}
+
+TEST(Sta, ExplicitClockSetsRequiredTimes) {
+    const Netlist nl = chain_circuit(4);
+    const DelayModel m;
+    const auto d = gate_delays(nl, m);
+    const TimingReport rep = analyze(nl, d, /*clock=*/1e-9);
+    const GateId end = nl.outputs()[0].gate;
+    EXPECT_NEAR(rep.slack(end), 1e-9 - 4 * m.nand_s, 1e-15);
+}
+
+TEST(Sta, DffsSplitTimingPaths) {
+    // in -> g1 -> FF -> g2 -> out: two paths of one gate each.
+    Netlist nl("seq");
+    const auto a = nl.add_input("a");
+    const auto g1 = nl.add_unary(Bool2::NOT_A(), a);
+    const auto ff = nl.add_dff(g1, "ff");
+    const auto g2 = nl.add_unary(Bool2::NOT_A(), ff);
+    nl.add_output(g2, "y");
+    const DelayModel m;
+    const TimingReport rep = analyze(nl, gate_delays(nl, m));
+    EXPECT_NEAR(rep.critical_delay, m.inv_s, 1e-15);
+}
+
+TEST(Sta, RejectsWrongDelayVector) {
+    const Netlist nl = chain_circuit(3);
+    EXPECT_THROW(analyze(nl, std::vector<double>(2, 0.0)), std::invalid_argument);
+}
+
+// ---- path statistics ------------------------------------------------------------------
+
+TEST(PathStats, EndpointHistogramCountsEndpoints) {
+    const Netlist nl = chain_circuit(8);
+    const Histogram h = endpoint_delay_histogram(nl, gate_delays(nl, {}), 10);
+    EXPECT_EQ(h.total(), 1u);  // one PO
+}
+
+TEST(PathStats, TotalPathCountOnDiamond) {
+    // a -> (g1, g2) -> join: 2 paths from a, plus b-paths.
+    Netlist nl("diamond");
+    const auto a = nl.add_input("a");
+    const auto b = nl.add_input("b");
+    const auto g1 = nl.add_gate(Bool2::NAND(), a, b);
+    const auto g2 = nl.add_gate(Bool2::NOR(), a, b);
+    const auto join = nl.add_gate(Bool2::AND(), g1, g2);
+    nl.add_output(join, "y");
+    // Paths: a->g1->join, a->g2->join, b->g1->join, b->g2->join.
+    EXPECT_DOUBLE_EQ(total_path_count(nl), 4.0);
+}
+
+TEST(PathStats, SuperblueProfileIsLongTailed) {
+    // The Fig. 6 shape: most endpoints at short delay, sparse long tail.
+    const Netlist nl = netlist::build_benchmark("sb18");
+    const Histogram h = endpoint_delay_histogram(nl, gate_delays(nl, {}), 30);
+    // Mass concentrated in the lowest third of the range...
+    std::uint64_t low = 0, high = 0;
+    for (std::size_t i = 0; i < 10; ++i) low += h.count(i);
+    for (std::size_t i = 20; i < 30; ++i) high += h.count(i);
+    EXPECT_GT(low, 10 * std::max<std::uint64_t>(high, 1));
+    // ...but the tail is populated (the marked critical paths).
+    EXPECT_GT(high, 0u);
+}
+
+// ---- delay-aware replacement ---------------------------------------------------------
+
+TEST(DelayAware, NeverViolatesBaselineClock) {
+    netlist::LayeredSpec spec;
+    spec.n_inputs = 64;
+    spec.n_outputs = 64;
+    spec.bulk_gates = 1500;
+    spec.bulk_depth = 12;
+    spec.n_chains = 2;
+    spec.chain_length = 120;
+    spec.seed = 4;
+    const Netlist nl = netlist::layered_circuit(spec);
+    const DelayAwareResult res = delay_aware_select(nl);
+    EXPECT_LE(res.final_critical, res.baseline_critical * (1.0 + 1e-12));
+    EXPECT_GT(res.replaced.size(), 0u);
+}
+
+TEST(DelayAware, ReplacementVerifiedBySta) {
+    netlist::LayeredSpec spec;
+    spec.n_inputs = 48;
+    spec.n_outputs = 48;
+    spec.bulk_gates = 1000;
+    spec.bulk_depth = 10;
+    spec.n_chains = 2;
+    spec.chain_length = 100;
+    spec.seed = 5;
+    const Netlist nl = netlist::layered_circuit(spec);
+    DelayAwareOptions opt;
+    const DelayAwareResult res = delay_aware_select(nl, opt);
+    // Recompute from scratch with the replacement delays.
+    auto d = gate_delays(nl, opt.model);
+    for (GateId id : res.replaced) d[id] = opt.model.gshe_s;
+    const TimingReport rep = analyze(nl, d);
+    EXPECT_LE(rep.critical_delay, res.baseline_critical * (1.0 + 1e-12));
+}
+
+TEST(DelayAware, CriticalChainGatesExcluded) {
+    // A bare chain has zero slack everywhere: nothing is replaceable.
+    const Netlist nl = chain_circuit(20);
+    const DelayAwareResult res = delay_aware_select(nl);
+    EXPECT_TRUE(res.replaced.empty());
+}
+
+TEST(DelayAware, FractionCapHonored) {
+    netlist::LayeredSpec spec;
+    spec.bulk_gates = 1200;
+    spec.bulk_depth = 10;
+    spec.n_chains = 2;
+    spec.chain_length = 100;
+    spec.n_inputs = 48;
+    spec.n_outputs = 48;
+    spec.seed = 6;
+    const Netlist nl = netlist::layered_circuit(spec);
+    DelayAwareOptions opt;
+    opt.max_fraction = 0.02;
+    const DelayAwareResult res = delay_aware_select(nl, opt);
+    EXPECT_LE(res.fraction_replaced, 0.021);
+}
+
+TEST(DelayAware, SelectionFeedsCamouflagePass) {
+    netlist::LayeredSpec spec;
+    spec.bulk_gates = 800;
+    spec.bulk_depth = 8;
+    spec.n_chains = 1;
+    spec.chain_length = 80;
+    spec.n_inputs = 32;
+    spec.n_outputs = 32;
+    spec.seed = 7;
+    const Netlist nl = netlist::layered_circuit(spec);
+    DelayAwareOptions opt;
+    opt.restrict_to_nand_nor = true;
+    const DelayAwareResult res = delay_aware_select(nl, opt);
+    ASSERT_GT(res.replaced.size(), 0u);
+    const camo::Protection prot =
+        camo::apply_camouflage(nl, res.replaced, camo::gshe16(), 1);
+    EXPECT_EQ(prot.netlist.camo_cells().size(), res.replaced.size());
+    // After camouflaging, the STA model sees GSHE delays on those gates and
+    // the critical delay still meets the baseline clock.
+    const TimingReport rep =
+        analyze(prot.netlist, gate_delays(prot.netlist, opt.model));
+    EXPECT_LE(rep.critical_delay, res.baseline_critical * (1.0 + 1e-12));
+}
+
+}  // namespace
+}  // namespace gshe::sta

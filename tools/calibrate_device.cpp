@@ -1,0 +1,47 @@
+// Scratch calibration driver (not part of the installed targets): sweeps the
+// stack separation and damping to land the mean switching delay at ~1.55 ns
+// for IS = 20 uA, and prints readout-circuit numbers for cross-checking
+// against Table I/II.
+#include <cstdio>
+
+#include "core/characterization.hpp"
+#include "core/gshe_switch.hpp"
+#include "spin/demag.hpp"
+
+using namespace gshe;
+using namespace gshe::core;
+
+int main(int argc, char** argv) {
+    const std::size_t trials = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 200;
+
+    GsheSwitchParams p;
+    const auto n_w = p.write_nm.demag_n;
+    std::printf("W-NM demag: Nx=%.4f Ny=%.4f Nz=%.4f (sum %.4f)\n", n_w.x, n_w.y,
+                n_w.z, n_w.x + n_w.y + n_w.z);
+    const auto pt = readout_point(p, 20e-6);
+    std::printf("beta=%.3f r=%.1f Ohm GP=%.1f uS GAP=%.1f uS\n", p.beta(),
+                p.hm_resistance(), p.gp() * 1e6, p.gap() * 1e6);
+    std::printf("VOUT=%.4f mV VSUP=%.4f mV P=%.4f uW E(1.55ns)=%.4f fJ\n",
+                pt.v_out * 1e3, pt.v_sup * 1e3, pt.power * 1e6,
+                pt.power * 1.55e-9 * 1e15);
+
+    for (double sep : {8e-9, 9e-9, 10e-9, 12e-9}) {
+        for (double alpha : {0.008, 0.01, 0.02}) {
+            GsheSwitchParams q;
+            q.stack_separation = sep;
+            q.write_nm.alpha = alpha;
+            q.read_nm.alpha = alpha;
+            GsheSwitch dev(q);
+            for (double is : {20e-6, 60e-6, 100e-6}) {
+                const auto d = characterize_delay(dev, is, trials, 12345);
+                std::printf(
+                    "sep=%4.1fnm alpha=%5.3f Is=%5.1fuA: switched %zu/%zu mean=%.3fns "
+                    "sd=%.3fns min=%.3f max=%.3f\n",
+                    sep * 1e9, alpha, is * 1e6, d.switched, d.trials,
+                    d.stats.mean() * 1e9, d.stats.stddev() * 1e9,
+                    d.stats.min() * 1e9, d.stats.max() * 1e9);
+            }
+        }
+    }
+    return 0;
+}

@@ -10,6 +10,10 @@
 //   GSHE_STT_RUNS      repetitions of the Sec. II STT-LUT experiment
 //                      (default 10; paper 100)
 //   GSHE_TABLE4_FULL   set to 1 to run the full 7-circuit Table IV grid
+//   GSHE_THREADS       campaign worker threads (default 1: the tables report
+//                      wall-clock runtimes, and parallel jobs contend for
+//                      cache/memory; set 0 = all cores when only the
+//                      success/t-o classification matters)
 
 #include <cstdio>
 #include <string>
@@ -19,6 +23,13 @@
 namespace gshe::bench {
 
 inline double attack_timeout_s() { return env_double("GSHE_TIMEOUT_S", 5.0); }
+
+/// Worker threads for CampaignRunner-based benches (0 = all cores).
+/// Defaults to 1 so reported per-attack runtimes are measured without
+/// cross-job contention, matching the paper's one-attack-at-a-time setup.
+inline int campaign_threads() {
+    return static_cast<int>(env_long("GSHE_THREADS", 1));
+}
 
 inline void banner(const char* id, const char* title) {
     std::printf("\n================================================================\n");

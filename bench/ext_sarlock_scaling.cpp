@@ -7,76 +7,102 @@
 //    many iterations, each cheap;
 //  * GSHE-16 at scale: few DIPs, but each miter solve explodes with the
 //    solution space k^cells.
-// This bench measures both curves.
+// Both curves are measured as one campaign-engine job matrix over a custom
+// netlist provider (the shared random base circuit), scheduled in parallel.
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
-#include "attack/oracle.hpp"
-#include "attack/sat_attack.hpp"
 #include "bench_util.hpp"
-#include "camo/cell_library.hpp"
-#include "camo/protect.hpp"
-#include "camo/sarlock.hpp"
 #include "common/ascii_table.hpp"
-#include "netlist/corpus.hpp"
+#include "engine/campaign.hpp"
 #include "netlist/generator.hpp"
 
 using namespace gshe;
 using namespace gshe::attack;
+using namespace gshe::engine;
 
 int main() {
     bench::banner("EXTENSION", "SARLock [6] scaling vs GSHE-16 camouflaging");
     const double timeout = std::max(bench::attack_timeout_s(), 20.0);
 
-    netlist::RandomSpec spec;
-    spec.n_inputs = 14;
-    spec.n_outputs = 8;
-    spec.n_gates = 120;
-    spec.seed = 0x5a1;
-    const netlist::Netlist base = netlist::random_circuit(spec, "base");
+    const std::vector<int> sarlock_bits = {4, 6, 8, 10};
+    const std::vector<double> camo_fractions = {0.05, 0.10, 0.15, 0.20};
+
+    std::vector<DefenseConfig> defenses;
+    for (const int m : sarlock_bits) {
+        DefenseConfig d;
+        d.kind = "sarlock";
+        d.sarlock_bits = m;
+        d.protect_seed = 0x5a2;
+        defenses.push_back(std::move(d));
+    }
+    for (const double frac : camo_fractions) {
+        DefenseConfig d;
+        d.kind = "camo";
+        d.library = "gshe16";
+        d.fraction = frac;
+        d.protect_seed = 0x5a3;
+        defenses.push_back(std::move(d));
+    }
+
+    AttackOptions opt;
+    opt.timeout_seconds = timeout;
+    const auto jobs =
+        CampaignRunner::cross_product({"base"}, defenses, {"sat"}, {1}, opt);
+
+    CampaignOptions copts;
+    copts.threads = bench::campaign_threads();
+    copts.netlist_provider = [](const std::string&) {
+        netlist::RandomSpec spec;
+        spec.n_inputs = 14;
+        spec.n_outputs = 8;
+        spec.n_gates = 120;
+        spec.seed = 0x5a1;
+        return netlist::random_circuit(spec, "base");
+    };
+    const CampaignResult campaign = CampaignRunner(copts).run(jobs);
+
+    const auto status_cell = [](const JobResult& j) {
+        if (!j.error.empty()) return std::string("error");
+        return j.result.status == AttackResult::Status::Success
+                   ? std::string(j.result.key_exact ? "exact" : "wrong")
+                   : std::string("t-o");
+    };
+    const auto per_dip_cell = [](const AttackResult& res) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.4f",
+                      res.iterations ? res.seconds / res.iterations : 0.0);
+        return std::string(buf);
+    };
 
     AsciiTable t1("SARLock: DIP count doubles per protected bit (flat cost/DIP)");
     t1.header({"m bits", "wrong keys", "DIPs", "time", "s/DIP", "status"});
-    for (const int m : {4, 6, 8, 10}) {
-        const auto prot = camo::apply_sarlock(base, m, 0x5a2);
-        ExactOracle oracle(prot.netlist);
-        AttackOptions opt;
-        opt.timeout_seconds = timeout;
-        const AttackResult res = sat_attack(prot.netlist, oracle, opt);
-        char per_dip[32];
-        std::snprintf(per_dip, sizeof per_dip, "%.4f",
-                      res.iterations ? res.seconds / res.iterations : 0.0);
-        t1.row({std::to_string(m), std::to_string((1 << m) - 1),
+    for (std::size_t i = 0; i < sarlock_bits.size(); ++i) {
+        const JobResult& j = campaign.jobs[i];
+        const AttackResult& res = j.result;
+        t1.row({std::to_string(sarlock_bits[i]),
+                std::to_string((1 << sarlock_bits[i]) - 1),
                 std::to_string(res.iterations),
-                AsciiTable::runtime(res.seconds, res.timed_out()), per_dip,
-                res.status == AttackResult::Status::Success
-                    ? (res.key_exact ? "exact" : "wrong")
-                    : "t-o"});
-        std::fflush(stdout);
+                AsciiTable::runtime(res.seconds, res.timed_out()),
+                per_dip_cell(res), status_cell(j)});
     }
     std::puts(t1.render().c_str());
 
     AsciiTable t2("GSHE-16 camouflaging: few DIPs, exploding per-DIP cost");
     t2.header({"protected", "key bits", "DIPs", "time", "s/DIP", "status"});
-    for (const double frac : {0.05, 0.10, 0.15, 0.20}) {
-        const auto sel = camo::select_gates(base, frac, 0x5a3);
-        const auto prot = camo::apply_camouflage(base, sel, camo::gshe16(), 0x5a3);
-        ExactOracle oracle(prot.netlist);
-        AttackOptions opt;
-        opt.timeout_seconds = timeout;
-        const AttackResult res = sat_attack(prot.netlist, oracle, opt);
-        char per_dip[32];
-        std::snprintf(per_dip, sizeof per_dip, "%.4f",
-                      res.iterations ? res.seconds / res.iterations : 0.0);
-        t2.row({AsciiTable::num(frac * 100, 3) + "%",
-                std::to_string(prot.netlist.key_bit_count()),
-                std::to_string(res.iterations),
-                AsciiTable::runtime(res.seconds, res.timed_out()), per_dip,
-                res.status == AttackResult::Status::Success
-                    ? (res.key_exact ? "exact" : "wrong")
-                    : "t-o"});
-        std::fflush(stdout);
+    for (std::size_t i = 0; i < camo_fractions.size(); ++i) {
+        const JobResult& j = campaign.jobs[sarlock_bits.size() + i];
+        const AttackResult& res = j.result;
+        t2.row({AsciiTable::num(camo_fractions[i] * 100, 3) + "%",
+                std::to_string(j.key_bits), std::to_string(res.iterations),
+                AsciiTable::runtime(res.seconds, res.timed_out()),
+                per_dip_cell(res), status_cell(j)});
     }
     std::puts(t2.render().c_str());
+
+    std::printf("campaign: %zu jobs, %.1f s wall on %d thread(s)\n",
+                campaign.jobs.size(), campaign.wall_seconds, campaign.threads);
     std::puts("SARLock's guarantee is an iteration floor; GSHE camouflaging's");
     std::puts("strength is per-iteration cost. The paper's point: at full-chip");
     std::puts("scale the latter matches the former in practice — and the GSHE");

@@ -3,22 +3,21 @@
 // higher across all benchmarks" (e.g. aes_core at 10%: ~7 h with [8] vs
 // ~15 h with [12]).
 //
-// This bench runs the Table IV subgrid with both attacks side by side and
-// reports the runtime ratio.
+// Rebased on the campaign engine: the {circuit x level x attack} grid is
+// one job matrix (both attacks on the identical protection via the shared
+// protect_seed), scheduled in parallel; the table pairs each cell's SAT [8]
+// and Double DIP [12] results and reports the runtime ratio.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
-#include "attack/double_dip.hpp"
-#include "attack/oracle.hpp"
-#include "attack/sat_attack.hpp"
 #include "bench_util.hpp"
-#include "camo/cell_library.hpp"
-#include "camo/protect.hpp"
 #include "common/ascii_table.hpp"
-#include "netlist/corpus.hpp"
+#include "engine/campaign.hpp"
 
 using namespace gshe;
 using namespace gshe::attack;
+using namespace gshe::engine;
 
 int main() {
     bench::banner("TABLE IV (Double DIP)", "base SAT attack vs Double DIP");
@@ -28,6 +27,26 @@ int main() {
 
     const std::vector<std::string> circuits = {"ex1010", "c7552"};
     const std::vector<double> levels = {0.05, 0.10};
+    const std::vector<std::string> attacks = {"sat", "double_dip"};
+
+    std::vector<DefenseConfig> defenses;
+    for (const double level : levels) {
+        DefenseConfig d;
+        d.kind = "camo";
+        d.library = "gshe16";
+        d.fraction = level;
+        d.protect_seed = 0x7AB4;
+        defenses.push_back(std::move(d));
+    }
+
+    AttackOptions opt;
+    opt.timeout_seconds = timeout;
+    const auto jobs =
+        CampaignRunner::cross_product(circuits, defenses, attacks, {1}, opt);
+
+    CampaignOptions copts;
+    copts.threads = bench::campaign_threads();
+    const CampaignResult campaign = CampaignRunner(copts).run(jobs);
 
     AsciiTable t("Runtimes in seconds (t-o = " + AsciiTable::num(timeout, 3) + " s)");
     t.header({"Benchmark", "Protection", "SAT [8] time", "SAT DIPs",
@@ -35,18 +54,19 @@ int main() {
 
     double ratio_sum = 0.0;
     int ratio_count = 0;
-    for (const auto& name : circuits) {
-        const netlist::Netlist nl = netlist::build_benchmark(name);
-        for (const double level : levels) {
-            const auto sel = camo::select_gates(nl, level, 0x7AB4);
-            const auto prot = camo::apply_camouflage(nl, sel, camo::gshe16(), 0x7AB4);
-            AttackOptions opt;
-            opt.timeout_seconds = timeout;
-
-            ExactOracle o1(prot.netlist);
-            const AttackResult base = sat_attack(prot.netlist, o1, opt);
-            ExactOracle o2(prot.netlist);
-            const AttackResult ddip = double_dip_attack(prot.netlist, o2, opt);
+    // cross_product order: circuit-major, then level, then attack.
+    for (std::size_t ci = 0; ci < circuits.size(); ++ci) {
+        for (std::size_t li = 0; li < levels.size(); ++li) {
+            const std::size_t cell = (ci * levels.size() + li) * attacks.size();
+            const JobResult& jbase = campaign.jobs[cell];
+            const JobResult& jddip = campaign.jobs[cell + 1];
+            if (!jbase.error.empty() || !jddip.error.empty()) {
+                t.row({circuits[ci], AsciiTable::num(levels[li] * 100, 3) + "%",
+                       "error", "-", "error", "-", "-"});
+                continue;
+            }
+            const AttackResult& base = jbase.result;
+            const AttackResult& ddip = jddip.result;
 
             std::string ratio = "-";
             if (base.status == AttackResult::Status::Success &&
@@ -55,7 +75,7 @@ int main() {
                 ratio_sum += ddip.seconds / base.seconds;
                 ++ratio_count;
             }
-            t.row({name, AsciiTable::num(level * 100, 3) + "%",
+            t.row({circuits[ci], AsciiTable::num(levels[li] * 100, 3) + "%",
                    AsciiTable::runtime(base.seconds, base.timed_out()),
                    std::to_string(base.iterations),
                    AsciiTable::runtime(ddip.seconds, ddip.timed_out()),
@@ -66,6 +86,8 @@ int main() {
     if (ratio_count > 0)
         std::printf("mean DoubleDIP/base runtime ratio: %.2fx (paper: ~2x on aes_core)\n",
                     ratio_sum / ratio_count);
+    std::printf("campaign: %zu jobs, %.1f s wall on %d thread(s)\n",
+                campaign.jobs.size(), campaign.wall_seconds, campaign.threads);
     std::puts("Double DIP prunes >= 2 keys per iteration (fewer iterations) but");
     std::puts("pays for a four-copy miter per query — net runtimes are higher,");
     std::puts("matching the paper's observation.");

@@ -2,9 +2,13 @@
 // and protection levels, on the scaled benchmark corpus.
 //
 // Methodology follows Sec. V-A exactly: for each benchmark the protected
-// gates are selected once (seeded), memorized, and reapplied across every
-// technique; each cell then reports the runtime of the oracle-guided SAT
-// attack, "t-o" when the (scaled) timeout is hit.
+// gates are selected once (seeded, DefenseConfig::protect_seed), memorized,
+// and reapplied across every technique; each cell then reports the runtime
+// of the oracle-guided SAT attack, "t-o" when the (scaled) timeout is hit.
+//
+// The whole grid is one CampaignRunner job matrix, scheduled across all
+// cores (GSHE_THREADS to override) — cells fill in parallel instead of the
+// old one-cell-at-a-time loop.
 //
 // Expected shape (paper): runtime grows with the number of cloaked
 // functions and with the protected percentage; the 16-function GSHE column
@@ -16,16 +20,15 @@
 #include <cstdio>
 #include <vector>
 
-#include "attack/oracle.hpp"
-#include "attack/sat_attack.hpp"
 #include "bench_util.hpp"
 #include "camo/cell_library.hpp"
-#include "camo/protect.hpp"
 #include "common/ascii_table.hpp"
+#include "engine/campaign.hpp"
 #include "netlist/corpus.hpp"
 
 using namespace gshe;
 using namespace gshe::attack;
+using namespace gshe::engine;
 
 int main() {
     bench::banner("TABLE IV", "SAT-attack runtimes (seconds; t-o = timeout)");
@@ -42,8 +45,45 @@ int main() {
     }
     const auto& libs = camo::table4_libraries();
 
-    for (const double level : levels) {
-        AsciiTable t("IP protection: " + std::to_string(static_cast<int>(level * 100)) + "%");
+    // One defense per (level, library); the shared protect_seed reapplies
+    // the identical gate selection across all library columns.
+    std::vector<DefenseConfig> defenses;
+    for (const double level : levels)
+        for (const auto& lib : libs) {
+            DefenseConfig d;
+            d.kind = "camo";
+            d.library = lib.name;
+            d.fraction = level;
+            d.protect_seed = 0x7AB4;
+            defenses.push_back(std::move(d));
+        }
+
+    AttackOptions opt;
+    opt.timeout_seconds = timeout;
+    const auto jobs =
+        CampaignRunner::cross_product(circuits, defenses, {"sat"}, {1}, opt);
+
+    CampaignOptions copts;
+    copts.threads = bench::campaign_threads();
+    copts.on_job_done = [&](const JobResult& j) {
+        std::fprintf(stderr, "  [%3zu/%zu] %s %s: %s\n", j.index + 1,
+                     jobs.size(), j.circuit.c_str(), j.defense.c_str(),
+                     j.error.empty()
+                         ? AttackResult::status_name(j.result.status).c_str()
+                         : j.error.c_str());
+    };
+    const CampaignResult campaign = CampaignRunner(copts).run(jobs);
+
+    // Job index layout (cross_product order): circuit-major, then
+    // (level, library) in defense order.
+    const std::size_t n_libs = libs.size();
+    const std::size_t per_circuit = levels.size() * n_libs;
+    std::vector<std::size_t> gate_counts;
+    for (const auto& name : circuits)
+        gate_counts.push_back(netlist::build_benchmark(name).logic_gate_count());
+    for (std::size_t li = 0; li < levels.size(); ++li) {
+        AsciiTable t("IP protection: " +
+                     std::to_string(static_cast<int>(levels[li] * 100)) + "%");
         std::vector<std::string> head = {"Benchmark"};
         for (const auto& lib : libs)
             head.push_back(lib.citation + " (" +
@@ -51,38 +91,35 @@ int main() {
         head.push_back("selected");
         t.header(head);
 
-        for (const auto& name : circuits) {
-            const netlist::Netlist nl = netlist::build_benchmark(name);
-            const auto sel = camo::select_gates(nl, level, /*seed=*/0x7AB4);
-            std::vector<std::string> row = {name};
-            for (const auto& lib : libs) {
-                const auto prot = camo::apply_camouflage(nl, sel, lib, 0x7AB4);
-                ExactOracle oracle(prot.netlist);
-                AttackOptions opt;
-                opt.timeout_seconds = timeout;
-                const AttackResult res = sat_attack(prot.netlist, oracle, opt);
+        for (std::size_t ci = 0; ci < circuits.size(); ++ci) {
+            std::vector<std::string> row = {circuits[ci]};
+            std::size_t selected = 0;
+            for (std::size_t bi = 0; bi < n_libs; ++bi) {
+                const JobResult& j =
+                    campaign.jobs[ci * per_circuit + li * n_libs + bi];
                 std::string cell;
-                switch (res.status) {
-                    case AttackResult::Status::Success:
-                        cell = AsciiTable::runtime(res.seconds, false);
-                        if (!res.key_exact) cell += " (wrong key!)";
-                        break;
-                    default:
-                        cell = "t-o";
-                        break;
+                if (!j.error.empty()) {
+                    cell = "error";
+                } else if (j.result.status == AttackResult::Status::Success) {
+                    cell = AsciiTable::runtime(j.result.seconds, false);
+                    if (!j.result.key_exact) cell += " (wrong key!)";
+                } else {
+                    cell = "t-o";
                 }
                 row.push_back(cell);
-                std::fflush(stdout);
+                if (j.error.empty()) selected = j.protected_cells;
             }
-            char selected[48];
-            std::snprintf(selected, sizeof selected, "%zu/%zu gates", sel.size(),
-                          nl.logic_gate_count());
-            row.push_back(selected);
+            char sel[48];
+            std::snprintf(sel, sizeof sel, "%zu/%zu gates", selected,
+                          gate_counts[ci]);
+            row.push_back(sel);
             t.row(row);
         }
         std::puts(t.render().c_str());
     }
 
+    std::printf("campaign: %zu jobs, %.1f s wall on %d thread(s)\n",
+                campaign.jobs.size(), campaign.wall_seconds, campaign.threads);
     std::puts("Reading the table: left-to-right the cloaked-function count rises");
     std::puts("(3, 6, 4, 2, 4, 7+1, 16) and so does attack effort; top-to-bottom");
     std::puts("within a column, effort rises with the protected fraction. 't-o'");

@@ -41,14 +41,11 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
             res.status = AttackResult::Status::IterationCap;
             break;
         }
-        const double remaining = base.timeout_seconds - timer.seconds();
-        if (remaining <= 0.0) {
+        if (base.timeout_seconds - timer.seconds() <= 0.0) {
             res.status = AttackResult::Status::TimedOut;
             break;
         }
-        sat::Solver::Budget budget;
-        budget.max_seconds = remaining;
-        solver.set_budget(budget);
+        detail::set_remaining_budget(solver, base, timer);
 
         const auto r = solver.solve();
         if (r == sat::Solver::Result::Unknown) {
@@ -59,7 +56,7 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
             bool timed_out = false;
             const auto key = detail::extract_consistent_key(
                 camo_nl, history, base.timeout_seconds - timer.seconds(),
-                base.solver, &timed_out);
+                base.max_conflicts, base.solver, &timed_out);
             if (key) {
                 res.status = AttackResult::Status::Success;
                 res.key = *key;
@@ -80,7 +77,7 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
         bool timed_out = false;
         const auto candidate = detail::extract_consistent_key(
             camo_nl, history, base.timeout_seconds - timer.seconds(),
-            base.solver, &timed_out);
+            base.max_conflicts, base.solver, &timed_out);
         if (!candidate) {
             if (timed_out) {
                 res.status = AttackResult::Status::TimedOut;
@@ -126,14 +123,8 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
             record(std::move(wrong_inputs[i]), std::move(wrong_outputs[i]));
     }
 
-    res.seconds = timer.seconds();
-    res.oracle_patterns = oracle.patterns_queried();
     res.solver_stats = solver.stats();
-    if (res.status == AttackResult::Status::Success) {
-        res.key_error_rate = key_error_rate(camo_nl, res.key,
-                                            base.verify_patterns, base.verify_seed);
-        res.key_exact = res.key_error_rate == 0.0;
-    }
+    detail::finalize_result(res, camo_nl, oracle, options.base, timer);
     return res;
 }
 

@@ -2,6 +2,7 @@
 // Common result/option types for the oracle-guided attacks.
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 #include "camo/key.hpp"
@@ -13,9 +14,20 @@ struct AttackOptions {
     /// Wall-clock budget for the whole attack; exceeded => Status::TimedOut
     /// (the "t-o" cells of Table IV, scaled from the paper's 48 h).
     double timeout_seconds = 60.0;
+    /// Deterministic resource cap: maximum cumulative solver conflicts per
+    /// solver instance (the miter solver and each key-extraction solver get
+    /// their own allowance). Exhaustion reports Status::TimedOut like the
+    /// wall clock, but — unlike the wall clock — identically on every
+    /// machine, load level and thread count; the campaign engine budgets
+    /// with this so "t-o" cells reproduce bit-for-bit.
+    std::uint64_t max_conflicts = std::numeric_limits<std::uint64_t>::max();
     /// Hard cap on DIP iterations (safety net; effectively unbounded).
     std::size_t max_iterations = 1u << 20;
     sat::Solver::Options solver;
+    /// Seed for attack-internal randomness (AppSAT's reinforcement
+    /// sampling); the campaign engine overrides it with the derived
+    /// per-job seed so seed-replicated jobs are independent.
+    std::uint64_t seed = 0xa99;
     /// Random patterns used for the a-posteriori key check.
     std::size_t verify_patterns = 1 << 12;
     std::uint64_t verify_seed = 0xbeefcafe;

@@ -10,73 +10,6 @@ namespace gshe::attack {
 
 using detail::History;
 
-namespace {
-
-/// Single-DIP mop-up phase over a pre-recorded history.
-AttackResult single_dip_phase(const netlist::Netlist& camo_nl, Oracle& oracle,
-                              const AttackOptions& options, History history,
-                              Timer& timer, std::size_t prior_iterations) {
-    AttackResult res;
-    res.iterations = prior_iterations;
-
-    sat::Solver solver(options.solver);
-    const auto enc1 = sat::encode_circuit(solver, camo_nl);
-    const auto enc2 = sat::encode_circuit(solver, camo_nl, enc1.pis);
-    sat::add_difference(solver, enc1.outs, enc2.outs);
-    for (std::size_t i = 0; i < history.size(); ++i) {
-        detail::add_agreement(solver, camo_nl, enc1.keys, history.inputs[i],
-                              history.outputs[i]);
-        detail::add_agreement(solver, camo_nl, enc2.keys, history.inputs[i],
-                              history.outputs[i]);
-    }
-
-    while (true) {
-        if (res.iterations >= options.max_iterations) {
-            res.status = AttackResult::Status::IterationCap;
-            break;
-        }
-        const double remaining = options.timeout_seconds - timer.seconds();
-        if (remaining <= 0.0) {
-            res.status = AttackResult::Status::TimedOut;
-            break;
-        }
-        sat::Solver::Budget budget;
-        budget.max_seconds = remaining;
-        solver.set_budget(budget);
-
-        const auto r = solver.solve();
-        if (r == sat::Solver::Result::Unknown) {
-            res.status = AttackResult::Status::TimedOut;
-            break;
-        }
-        if (r == sat::Solver::Result::Unsat) {
-            bool timed_out = false;
-            const auto key = detail::extract_consistent_key(
-                camo_nl, history, options.timeout_seconds - timer.seconds(),
-                options.solver, &timed_out);
-            if (key) {
-                res.status = AttackResult::Status::Success;
-                res.key = *key;
-            } else {
-                res.status = timed_out ? AttackResult::Status::TimedOut
-                                       : AttackResult::Status::Inconsistent;
-            }
-            break;
-        }
-
-        ++res.iterations;
-        std::vector<bool> dip = detail::model_values(solver, enc1.pis);
-        std::vector<bool> response = oracle.query_single(dip);
-        detail::add_agreement(solver, camo_nl, enc1.keys, dip, response);
-        detail::add_agreement(solver, camo_nl, enc2.keys, dip, response);
-        history.add(std::move(dip), std::move(response));
-    }
-    res.solver_stats = solver.stats();
-    return res;
-}
-
-}  // namespace
-
 AttackResult double_dip_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
                                const AttackOptions& options) {
     Timer timer;
@@ -106,36 +39,29 @@ AttackResult double_dip_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
     History history;
     const std::array<const sat::CircuitEncoding*, 4> encs = {&enc1, &enc2,
                                                              &enc3, &enc4};
-    bool fall_back = false;
     while (true) {
         if (res.iterations >= options.max_iterations) {
             res.status = AttackResult::Status::IterationCap;
-            res.seconds = timer.seconds();
             res.solver_stats = solver.stats();
+            detail::finalize_result(res, camo_nl, oracle, options, timer);
             return res;
         }
-        const double remaining = options.timeout_seconds - timer.seconds();
-        if (remaining <= 0.0) {
+        if (options.timeout_seconds - timer.seconds() <= 0.0) {
             res.status = AttackResult::Status::TimedOut;
-            res.seconds = timer.seconds();
             res.solver_stats = solver.stats();
+            detail::finalize_result(res, camo_nl, oracle, options, timer);
             return res;
         }
-        sat::Solver::Budget budget;
-        budget.max_seconds = remaining;
-        solver.set_budget(budget);
+        detail::set_remaining_budget(solver, options, timer);
 
         const auto r = solver.solve();
         if (r == sat::Solver::Result::Unknown) {
             res.status = AttackResult::Status::TimedOut;
-            res.seconds = timer.seconds();
             res.solver_stats = solver.stats();
+            detail::finalize_result(res, camo_nl, oracle, options, timer);
             return res;
         }
-        if (r == sat::Solver::Result::Unsat) {
-            fall_back = true;  // fewer than two eliminable keys remain
-            break;
-        }
+        if (r == sat::Solver::Result::Unsat) break;  // no 2-DIP remains
 
         ++res.iterations;
         std::vector<bool> dip = detail::model_values(solver, enc1.pis);
@@ -145,19 +71,12 @@ AttackResult double_dip_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
         history.add(std::move(dip), std::move(response));
     }
 
-    // Phase 2: standard DIP loop finishes the job.
-    AttackResult final_res =
-        fall_back ? single_dip_phase(camo_nl, oracle, options,
-                                     std::move(history), timer, res.iterations)
-                  : res;
-    final_res.seconds = timer.seconds();
-    final_res.oracle_patterns = oracle.patterns_queried();
-    if (final_res.status == AttackResult::Status::Success) {
-        final_res.key_error_rate =
-            key_error_rate(camo_nl, final_res.key, options.verify_patterns,
-                           options.verify_seed);
-        final_res.key_exact = final_res.key_error_rate == 0.0;
-    }
+    // Phase 2: fewer than two eliminable keys remain; the standard
+    // single-DIP loop finishes the job, seeded with the phase-1
+    // observations.
+    AttackResult final_res = detail::run_single_dip_loop(
+        camo_nl, oracle, options, timer, history, res.iterations);
+    detail::finalize_result(final_res, camo_nl, oracle, options, timer);
     return final_res;
 }
 

@@ -1,5 +1,7 @@
 #include "attack/miter_detail.hpp"
 
+#include "attack/sat_attack.hpp"
+
 namespace gshe::attack::detail {
 
 std::vector<bool> model_values(const sat::Solver& solver,
@@ -25,9 +27,18 @@ void add_agreement(sat::Solver& solver, const netlist::Netlist& nl,
         sat::fix_var(solver, enc.outs[o], y[o]);
 }
 
+void set_remaining_budget(sat::Solver& solver, const AttackOptions& options,
+                          const Timer& timer) {
+    sat::Solver::Budget budget;
+    budget.max_seconds = options.timeout_seconds - timer.seconds();
+    budget.max_conflicts = options.max_conflicts;
+    solver.set_budget(budget);
+}
+
 std::optional<camo::Key> extract_consistent_key(
     const netlist::Netlist& nl, const History& history, double timeout_seconds,
-    const sat::Solver::Options& opts, bool* timed_out) {
+    std::uint64_t max_conflicts, const sat::Solver::Options& opts,
+    bool* timed_out) {
     if (timed_out != nullptr) *timed_out = false;
     sat::Solver solver(opts);
     // One free copy creates the key variables together with their
@@ -38,6 +49,7 @@ std::optional<camo::Key> extract_consistent_key(
 
     sat::Solver::Budget budget;
     budget.max_seconds = timeout_seconds;
+    budget.max_conflicts = max_conflicts;
     solver.set_budget(budget);
     switch (solver.solve()) {
         case sat::Solver::Result::Sat: {
@@ -52,6 +64,81 @@ std::optional<camo::Key> extract_consistent_key(
             return std::nullopt;
     }
     return std::nullopt;
+}
+
+AttackResult run_single_dip_loop(const netlist::Netlist& camo_nl,
+                                 Oracle& oracle, const AttackOptions& options,
+                                 const Timer& timer, History& history,
+                                 std::size_t prior_iterations) {
+    AttackResult res;
+    res.iterations = prior_iterations;
+
+    sat::Solver solver(options.solver);
+    const auto enc1 = sat::encode_circuit(solver, camo_nl);
+    const auto enc2 = sat::encode_circuit(solver, camo_nl, enc1.pis);
+    sat::add_difference(solver, enc1.outs, enc2.outs);
+    for (std::size_t i = 0; i < history.size(); ++i) {
+        detail::add_agreement(solver, camo_nl, enc1.keys, history.inputs[i],
+                              history.outputs[i]);
+        detail::add_agreement(solver, camo_nl, enc2.keys, history.inputs[i],
+                              history.outputs[i]);
+    }
+
+    while (true) {
+        if (res.iterations >= options.max_iterations) {
+            res.status = AttackResult::Status::IterationCap;
+            break;
+        }
+        if (options.timeout_seconds - timer.seconds() <= 0.0) {
+            res.status = AttackResult::Status::TimedOut;
+            break;
+        }
+        set_remaining_budget(solver, options, timer);
+
+        const auto r = solver.solve();
+        if (r == sat::Solver::Result::Unknown) {
+            res.status = AttackResult::Status::TimedOut;
+            break;
+        }
+        if (r == sat::Solver::Result::Unsat) {
+            // No distinguishing input remains: extract any consistent key.
+            bool timed_out = false;
+            const auto key = extract_consistent_key(
+                camo_nl, history, options.timeout_seconds - timer.seconds(),
+                options.max_conflicts, options.solver, &timed_out);
+            if (key) {
+                res.status = AttackResult::Status::Success;
+                res.key = *key;
+            } else {
+                res.status = timed_out ? AttackResult::Status::TimedOut
+                                       : AttackResult::Status::Inconsistent;
+            }
+            break;
+        }
+
+        // A DIP was found: query the oracle and pin both key copies to it.
+        ++res.iterations;
+        std::vector<bool> dip = model_values(solver, enc1.pis);
+        std::vector<bool> response = oracle.query_single(dip);
+        add_agreement(solver, camo_nl, enc1.keys, dip, response);
+        add_agreement(solver, camo_nl, enc2.keys, dip, response);
+        history.add(std::move(dip), std::move(response));
+    }
+
+    res.solver_stats = solver.stats();
+    return res;
+}
+
+void finalize_result(AttackResult& res, const netlist::Netlist& nl,
+                     const Oracle& oracle, const AttackOptions& options,
+                     const Timer& timer) {
+    res.seconds = timer.seconds();
+    res.oracle_patterns = oracle.patterns_queried();
+    if (res.status == AttackResult::Status::Success) {
+        res.key_error_rate = key_error_rate(nl, res.key, options.verify_patterns,
+                                            options.verify_seed);
+        res.key_exact = res.key_error_rate == 0.0;
+    }
 }
 
 }  // namespace gshe::attack::detail

@@ -1,11 +1,20 @@
 #pragma once
 // Internal plumbing shared by the oracle-guided attacks (sat_attack,
 // double_dip, appsat). Not part of the stable public API.
+//
+// The single-DIP refinement loop lives here: sat_attack *is* this loop, and
+// Double DIP falls back to it (seeded with its phase-1 observations) once no
+// 2-DIP remains. Both budget dimensions — wall clock and the deterministic
+// cumulative-conflict cap of AttackOptions::max_conflicts — are applied on
+// every solve.
 
 #include <optional>
 #include <vector>
 
+#include "attack/attack_result.hpp"
+#include "attack/oracle.hpp"
 #include "camo/key.hpp"
+#include "common/timer.hpp"
 #include "netlist/netlist.hpp"
 #include "sat/solver.hpp"
 #include "sat/tseitin.hpp"
@@ -35,11 +44,36 @@ void add_agreement(sat::Solver& solver, const netlist::Netlist& nl,
                    const std::vector<sat::Var>& keys,
                    const std::vector<bool>& x, const std::vector<bool>& y);
 
+/// Applies the per-solve budget: the wall-clock remainder of the attack's
+/// timeout plus the deterministic conflict cap.
+void set_remaining_budget(sat::Solver& solver, const AttackOptions& options,
+                          const Timer& timer);
+
 /// Solves for any key consistent with the full history.
 /// Returns the key, std::nullopt on inconsistency; sets *timed_out when the
-/// budget ran out before an answer.
+/// budget (wall clock or `max_conflicts`) ran out before an answer.
 std::optional<camo::Key> extract_consistent_key(
     const netlist::Netlist& nl, const History& history, double timeout_seconds,
-    const sat::Solver::Options& opts, bool* timed_out);
+    std::uint64_t max_conflicts, const sat::Solver::Options& opts,
+    bool* timed_out);
+
+/// Runs the classic single-DIP refinement loop to completion: build the
+/// two-copy miter, replay `history` as agreement constraints, then iterate
+/// solve → oracle query → constrain until UNSAT (key extraction follows) or
+/// a budget runs out. New observations are appended to `history`;
+/// `prior_iterations` seeds the iteration counter (Double DIP's phase 1).
+/// The returned result has status, key, iterations and solver_stats set —
+/// callers finish it with finalize_result().
+AttackResult run_single_dip_loop(const netlist::Netlist& camo_nl,
+                                 Oracle& oracle, const AttackOptions& options,
+                                 const Timer& timer, History& history,
+                                 std::size_t prior_iterations);
+
+/// Fills the post-run fields common to every attack: wall time, oracle cost,
+/// and — on Success — the a-posteriori key check against the defender's
+/// ground truth.
+void finalize_result(AttackResult& res, const netlist::Netlist& nl,
+                     const Oracle& oracle, const AttackOptions& options,
+                     const Timer& timer);
 
 }  // namespace gshe::attack::detail

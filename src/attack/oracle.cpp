@@ -1,23 +1,48 @@
 #include "attack/oracle.hpp"
 
+#include <bit>
 #include <stdexcept>
 
+#include "common/timer.hpp"
+
 namespace gshe::attack {
+
+void OracleStats::record(std::uint64_t batch_patterns, bool single,
+                         double elapsed) {
+    ++calls;
+    if (single) ++single_calls;
+    patterns += batch_patterns;
+    seconds += elapsed;
+    std::size_t bucket = 0;
+    if (batch_patterns > 0)
+        bucket = static_cast<std::size_t>(
+            std::bit_width(batch_patterns) - 1);  // floor(log2)
+    if (bucket >= kHistBuckets) bucket = kHistBuckets - 1;
+    ++batch_log2_hist[bucket];
+}
+
+std::vector<std::uint64_t> Oracle::query(
+    std::span<const std::uint64_t> pi_words) {
+    Timer timer;
+    auto out = evaluate(pi_words);
+    stats_.record(64, /*single=*/false, timer.seconds());
+    return out;
+}
 
 std::vector<bool> Oracle::query_single(const std::vector<bool>& pi) {
     std::vector<std::uint64_t> words(pi.size());
     for (std::size_t i = 0; i < pi.size(); ++i)
         words[i] = pi[i] ? ~std::uint64_t{0} : 0;
-    const auto out_words = query(words);
-    patterns_ -= 63;  // a single-pattern query counts once
+    Timer timer;
+    const auto out_words = evaluate(words);
+    stats_.record(1, /*single=*/true, timer.seconds());
     std::vector<bool> out(out_words.size());
     for (std::size_t i = 0; i < out.size(); ++i) out[i] = (out_words[i] & 1) != 0;
     return out;
 }
 
-std::vector<std::uint64_t> ExactOracle::query(
+std::vector<std::uint64_t> ExactOracle::evaluate(
     std::span<const std::uint64_t> pi_words) {
-    patterns_ += 64;
     return sim_.run(pi_words);
 }
 
@@ -40,9 +65,8 @@ StochasticOracle::StochasticOracle(const netlist::Netlist& camo_nl,
             throw std::invalid_argument("StochasticOracle: accuracy in (0, 1]");
 }
 
-std::vector<std::uint64_t> StochasticOracle::query(
+std::vector<std::uint64_t> StochasticOracle::evaluate(
     std::span<const std::uint64_t> pi_words) {
-    patterns_ += 64;
     std::vector<std::uint64_t> masks(accuracy_.size(), 0);
     for (std::size_t d = 0; d < masks.size(); ++d) {
         const double err = 1.0 - accuracy_[d];

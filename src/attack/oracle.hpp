@@ -8,7 +8,13 @@
 // wrong with probability (1 - accuracy), so a fraction of the oracle's
 // responses is incorrect — which is precisely what breaks the consistency
 // assumption of oracle-guided SAT attacks.
+//
+// The base class owns all accounting: `query`/`query_single` are non-virtual
+// wrappers that meter wall-time and batch sizes around the subclass
+// `evaluate` hook, so campaign reports get uniform per-oracle cost numbers
+// (OracleStats) regardless of the oracle flavour.
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -20,22 +26,47 @@
 
 namespace gshe::attack {
 
+/// Per-oracle cost accounting, aggregated by the campaign engine.
+/// `seconds` is wall-clock and therefore *not* reproducible run-to-run; the
+/// deterministic campaign CSV excludes it (JSON reports include it).
+struct OracleStats {
+    std::uint64_t calls = 0;         ///< query() + query_single() invocations
+    std::uint64_t single_calls = 0;  ///< of which single-pattern conveniences
+    std::uint64_t patterns = 0;      ///< input patterns evaluated
+    double seconds = 0.0;            ///< wall time spent inside evaluate()
+
+    /// Histogram of patterns-per-call: bucket b counts calls whose batch
+    /// size n satisfies floor(log2(n)) == b (last bucket: n >= 64).
+    static constexpr std::size_t kHistBuckets = 7;
+    std::array<std::uint64_t, kHistBuckets> batch_log2_hist{};
+
+    void record(std::uint64_t batch_patterns, bool single, double elapsed);
+};
+
 class Oracle {
 public:
     virtual ~Oracle() = default;
 
     /// Evaluates 64 packed input patterns; returns one word per output.
-    virtual std::vector<std::uint64_t> query(
-        std::span<const std::uint64_t> pi_words) = 0;
+    /// Non-virtual: meters the call, then dispatches to evaluate().
+    std::vector<std::uint64_t> query(std::span<const std::uint64_t> pi_words);
 
-    /// Single-pattern convenience.
+    /// Single-pattern convenience (counts one pattern, not 64).
     std::vector<bool> query_single(const std::vector<bool>& pi);
 
     /// Number of input patterns queried so far (64 per packed call).
-    std::uint64_t patterns_queried() const { return patterns_; }
+    std::uint64_t patterns_queried() const { return stats_.patterns; }
+
+    /// Cost accounting for campaign reports.
+    const OracleStats& stats() const { return stats_; }
 
 protected:
-    std::uint64_t patterns_ = 0;
+    /// Subclass hook: evaluate 64 packed patterns.
+    virtual std::vector<std::uint64_t> evaluate(
+        std::span<const std::uint64_t> pi_words) = 0;
+
+private:
+    OracleStats stats_;
 };
 
 /// Deterministic oracle over the original (or camouflaged-with-true-
@@ -43,7 +74,10 @@ protected:
 class ExactOracle final : public Oracle {
 public:
     explicit ExactOracle(const netlist::Netlist& nl) : sim_(nl) {}
-    std::vector<std::uint64_t> query(std::span<const std::uint64_t> pi_words) override;
+
+protected:
+    std::vector<std::uint64_t> evaluate(
+        std::span<const std::uint64_t> pi_words) override;
 
 private:
     netlist::Simulator sim_;
@@ -60,9 +94,11 @@ public:
                      std::vector<double> per_device_accuracy,
                      std::uint64_t seed);
 
-    std::vector<std::uint64_t> query(std::span<const std::uint64_t> pi_words) override;
-
     const std::vector<double>& accuracies() const { return accuracy_; }
+
+protected:
+    std::vector<std::uint64_t> evaluate(
+        std::span<const std::uint64_t> pi_words) override;
 
 private:
     const netlist::Netlist* nl_;

@@ -34,32 +34,24 @@ double key_error_rate(const netlist::Netlist& camo_nl, const camo::Key& key,
         const auto guess = sim.run_with_functions(pi, *fns);
         std::uint64_t diff = 0;
         for (std::size_t o = 0; o < truth.size(); ++o) diff |= truth[o] ^ guess[o];
+        // The last word may carry fewer than 64 requested patterns; mask the
+        // excess lanes so they count in neither numerator nor denominator.
+        const std::size_t lanes =
+            (w + 1 == words && patterns % 64 != 0) ? patterns % 64 : 64;
+        if (lanes < 64) diff &= (std::uint64_t{1} << lanes) - 1;
         mismatched += static_cast<std::uint64_t>(__builtin_popcountll(diff));
-        total += 64;
+        total += lanes;
     }
     return total == 0 ? 0.0 : static_cast<double>(mismatched) / static_cast<double>(total);
 }
 
-namespace {
-
-void finalize(AttackResult& res, const netlist::Netlist& nl,
-              const AttackOptions& options) {
-    if (res.status == AttackResult::Status::Success) {
-        res.key_error_rate =
-            key_error_rate(nl, res.key, options.verify_patterns, options.verify_seed);
-        res.key_exact = res.key_error_rate == 0.0;
-    }
-}
-
-}  // namespace
-
 AttackResult sat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
                         const AttackOptions& options) {
     Timer timer;
-    AttackResult res;
 
     // Trivial case: nothing is camouflaged.
     if (camo_nl.camo_cells().empty()) {
+        AttackResult res;
         res.status = AttackResult::Status::Success;
         res.seconds = timer.seconds();
         res.key_error_rate = 0.0;
@@ -67,60 +59,11 @@ AttackResult sat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
         return res;
     }
 
-    sat::Solver solver(options.solver);
-    const auto enc1 = sat::encode_circuit(solver, camo_nl);
-    const auto enc2 = sat::encode_circuit(solver, camo_nl, enc1.pis);
-    sat::add_difference(solver, enc1.outs, enc2.outs);
-
     History history;
-    while (true) {
-        if (res.iterations >= options.max_iterations) {
-            res.status = AttackResult::Status::IterationCap;
-            break;
-        }
-        const double remaining = options.timeout_seconds - timer.seconds();
-        if (remaining <= 0.0) {
-            res.status = AttackResult::Status::TimedOut;
-            break;
-        }
-        sat::Solver::Budget budget;
-        budget.max_seconds = remaining;
-        solver.set_budget(budget);
-
-        const auto r = solver.solve();
-        if (r == sat::Solver::Result::Unknown) {
-            res.status = AttackResult::Status::TimedOut;
-            break;
-        }
-        if (r == sat::Solver::Result::Unsat) {
-            // No distinguishing input remains: extract any consistent key.
-            bool timed_out = false;
-            const auto key = detail::extract_consistent_key(
-                camo_nl, history, options.timeout_seconds - timer.seconds(),
-                options.solver, &timed_out);
-            if (key) {
-                res.status = AttackResult::Status::Success;
-                res.key = *key;
-            } else {
-                res.status = timed_out ? AttackResult::Status::TimedOut
-                                       : AttackResult::Status::Inconsistent;
-            }
-            break;
-        }
-
-        // A DIP was found: query the oracle and pin both key copies to it.
-        ++res.iterations;
-        std::vector<bool> dip = detail::model_values(solver, enc1.pis);
-        std::vector<bool> response = oracle.query_single(dip);
-        detail::add_agreement(solver, camo_nl, enc1.keys, dip, response);
-        detail::add_agreement(solver, camo_nl, enc2.keys, dip, response);
-        history.add(std::move(dip), std::move(response));
-    }
-
-    res.seconds = timer.seconds();
-    res.oracle_patterns = oracle.patterns_queried();
-    res.solver_stats = solver.stats();
-    finalize(res, camo_nl, options);
+    AttackResult res = detail::run_single_dip_loop(camo_nl, oracle, options,
+                                                   timer, history,
+                                                   /*prior_iterations=*/0);
+    detail::finalize_result(res, camo_nl, oracle, options, timer);
     return res;
 }
 

@@ -36,11 +36,10 @@ void RekeyingOracle::maybe_advance_epoch() {
     }
 }
 
-std::vector<std::uint64_t> RekeyingOracle::query(
+std::vector<std::uint64_t> RekeyingOracle::evaluate(
     std::span<const std::uint64_t> pi_words) {
     maybe_advance_epoch();
     ++queries_in_epoch_;
-    patterns_ += 64;
     return sim_.run_with_functions(pi_words, current_fns_);
 }
 

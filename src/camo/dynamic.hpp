@@ -36,10 +36,11 @@ public:
     RekeyingOracle(const netlist::Netlist& camo_nl, std::uint64_t interval,
                    double scramble_frac, double duty_true, std::uint64_t seed);
 
-    std::vector<std::uint64_t> query(
-        std::span<const std::uint64_t> pi_words) override;
-
     std::uint64_t epochs_elapsed() const { return epoch_; }
+
+protected:
+    std::vector<std::uint64_t> evaluate(
+        std::span<const std::uint64_t> pi_words) override;
 
 private:
     void maybe_advance_epoch();

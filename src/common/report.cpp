@@ -1,0 +1,168 @@
+#include "common/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace gshe {
+
+// ---- Csv --------------------------------------------------------------------
+
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+    return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void append_cell(std::string& out, const std::string& cell) {
+    if (!needs_quoting(cell)) {
+        out += cell;
+        return;
+    }
+    out += '"';
+    for (char c : cell) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+}
+
+void append_row(std::string& out, const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0) out += ',';
+        append_cell(out, cells[i]);
+    }
+    out += '\n';
+}
+
+}  // namespace
+
+Csv::Csv(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Csv::row(std::vector<std::string> cells) {
+    if (cells.size() != header_.size())
+        throw std::invalid_argument("Csv: row width != header width");
+    rows_.push_back(std::move(cells));
+}
+
+std::string Csv::render() const {
+    std::string out;
+    append_row(out, header_);
+    for (const auto& r : rows_) append_row(out, r);
+    return out;
+}
+
+std::string Csv::num(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    return buf;
+}
+
+std::string Csv::num(std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+// ---- JsonWriter -------------------------------------------------------------
+
+void JsonWriter::comma() {
+    if (pending_key_) {
+        pending_key_ = false;
+        return;  // value completes a "key": pair; no comma here
+    }
+    if (!first_in_scope_.empty()) {
+        if (!first_in_scope_.back()) out_ += ',';
+        first_in_scope_.back() = false;
+    }
+}
+
+void JsonWriter::begin_object() {
+    comma();
+    out_ += '{';
+    first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+    out_ += '}';
+    first_in_scope_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+    comma();
+    out_ += '[';
+    first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+    out_ += ']';
+    first_in_scope_.pop_back();
+}
+
+void JsonWriter::key(const std::string& k) {
+    comma();
+    out_ += escaped(k);
+    out_ += ':';
+    pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+    comma();
+    out_ += escaped(v);
+}
+
+void JsonWriter::value(double v) {
+    comma();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+    comma();
+    out_ += Csv::num(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out_ += buf;
+}
+
+void JsonWriter::value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+}
+
+std::string JsonWriter::escaped(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+    std::ofstream f(path, std::ios::binary);
+    if (!f) throw std::runtime_error("cannot open for writing: " + path);
+    f.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace gshe

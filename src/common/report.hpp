@@ -1,0 +1,67 @@
+#pragma once
+// Structured report writers (CSV and JSON) for machine-readable experiment
+// output — the campaign engine's aggregate reports are built on these.
+//
+// Formatting is fully deterministic: fixed "%.*g" float rendering and no
+// locale dependence, so two runs producing the same values produce the same
+// bytes (the property the campaign determinism guarantee rests on).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gshe {
+
+/// Minimal CSV table: a header plus uniform-width rows, RFC-4180-style
+/// quoting for cells containing commas, quotes or newlines.
+class Csv {
+public:
+    explicit Csv(std::vector<std::string> header);
+
+    /// Appends a row; throws std::invalid_argument on width mismatch.
+    void row(std::vector<std::string> cells);
+
+    std::size_t rows() const { return rows_.size(); }
+    std::string render() const;
+
+    /// Canonical deterministic number rendering ("%.10g").
+    static std::string num(double v);
+    static std::string num(std::uint64_t v);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal streaming JSON writer with automatic comma/indent management.
+/// Usage: begin_object(); key("a"); value(1.0); ... end_object(); str().
+class JsonWriter {
+public:
+    void begin_object();
+    void end_object();
+    void begin_array();
+    void end_array();
+    void key(const std::string& k);
+    void value(const std::string& v);
+    void value(const char* v) { value(std::string(v)); }
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(bool v);
+
+    /// The document so far; valid JSON once all scopes are closed.
+    const std::string& str() const { return out_; }
+
+private:
+    void comma();
+    static std::string escaped(const std::string& s);
+
+    std::string out_;
+    std::vector<bool> first_in_scope_;
+    bool pending_key_ = false;
+};
+
+/// Writes `content` to `path`, throwing std::runtime_error on failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace gshe

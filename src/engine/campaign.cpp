@@ -1,0 +1,151 @@
+#include "engine/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/timer.hpp"
+#include "netlist/corpus.hpp"
+
+namespace gshe::engine {
+
+std::size_t CampaignResult::succeeded() const {
+    std::size_t n = 0;
+    for (const auto& j : jobs)
+        if (j.error.empty() &&
+            j.result.status == attack::AttackResult::Status::Success)
+            ++n;
+    return n;
+}
+
+std::size_t CampaignResult::errored() const {
+    std::size_t n = 0;
+    for (const auto& j : jobs)
+        if (!j.error.empty()) ++n;
+    return n;
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(std::move(options)) {
+    if (!options_.netlist_provider)
+        options_.netlist_provider = [](const std::string& name) {
+            return netlist::build_benchmark(name);
+        };
+}
+
+std::uint64_t CampaignRunner::derive_seed(std::uint64_t campaign_seed,
+                                          std::size_t job_index,
+                                          std::uint64_t spec_seed) {
+    auto mix = [](std::uint64_t z) {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    };
+    const std::uint64_t golden = 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = campaign_seed;
+    z = mix(z + golden * (static_cast<std::uint64_t>(job_index) + 1));
+    z = mix(z + golden * (spec_seed + 1));
+    return z;
+}
+
+JobResult CampaignRunner::run_job(const JobSpec& spec,
+                                  std::size_t index) const {
+    Timer timer;
+    JobResult r;
+    r.index = index;
+    r.circuit = spec.circuit;
+    r.defense = spec.defense.label();
+    r.attack = spec.attack;
+    r.spec_seed = spec.seed;
+    r.derived_seed = derive_seed(options_.campaign_seed, index, spec.seed);
+    try {
+        const attack::Attack& attack = attack::attack_by_name(spec.attack);
+        const netlist::Netlist base = options_.netlist_provider(spec.circuit);
+        DefenseInstance defense =
+            DefenseFactory::build(base, spec.defense, r.derived_seed);
+        r.protected_cells = defense.protected_cells;
+        r.key_bits = defense.key_bits;
+        attack::AttackOptions options = spec.attack_options;
+        options.seed = r.derived_seed;
+        r.result = attack.run(*defense.netlist, *defense.oracle, options);
+        r.oracle_stats = defense.oracle->stats();
+    } catch (const std::exception& e) {
+        r.error = e.what();
+    } catch (...) {
+        r.error = "unknown exception";
+    }
+    r.job_seconds = timer.seconds();
+    return r;
+}
+
+CampaignResult CampaignRunner::run(const std::vector<JobSpec>& jobs) const {
+    Timer timer;
+    CampaignResult out;
+    out.jobs.resize(jobs.size());
+
+    std::size_t threads = options_.threads > 0
+                              ? static_cast<std::size_t>(options_.threads)
+                              : std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min(threads, std::max<std::size_t>(jobs.size(), 1));
+    out.threads = static_cast<int>(threads);
+
+    std::atomic<std::size_t> next{0};
+    std::mutex done_mutex;
+    auto worker = [&] {
+        while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size()) break;
+            JobResult r = run_job(jobs[i], i);
+            if (options_.on_job_done) {
+                const std::lock_guard<std::mutex> lock(done_mutex);
+                // A throw escaping a worker thread would std::terminate the
+                // whole campaign; progress reporting is not worth that.
+                try {
+                    options_.on_job_done(r);
+                } catch (...) {
+                }
+            }
+            out.jobs[i] = std::move(r);
+        }
+    };
+
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+        for (auto& t : pool) t.join();
+    }
+
+    out.wall_seconds = timer.seconds();
+    return out;
+}
+
+std::vector<JobSpec> CampaignRunner::cross_product(
+    const std::vector<std::string>& circuits,
+    const std::vector<DefenseConfig>& defenses,
+    const std::vector<std::string>& attacks,
+    const std::vector<std::uint64_t>& seeds,
+    const attack::AttackOptions& attack_options) {
+    std::vector<JobSpec> jobs;
+    jobs.reserve(circuits.size() * defenses.size() * attacks.size() *
+                 seeds.size());
+    for (const auto& circuit : circuits)
+        for (const auto& defense : defenses)
+            for (const auto& attack : attacks)
+                for (const auto seed : seeds) {
+                    JobSpec spec;
+                    spec.circuit = circuit;
+                    spec.defense = defense;
+                    spec.attack = attack;
+                    spec.seed = seed;
+                    spec.attack_options = attack_options;
+                    jobs.push_back(std::move(spec));
+                }
+    return jobs;
+}
+
+}  // namespace gshe::engine

@@ -1,0 +1,112 @@
+#pragma once
+// CampaignRunner: the parallel job scheduler behind the paper's security
+// study. Tables III-IV and Sec. V are one large cross-product of
+// {circuit x defense x attack x seed}; each cell is an independent Job, and
+// the runner schedules them across a thread pool.
+//
+// Determinism contract: a job's result is a pure function of its JobSpec,
+// the campaign seed and its matrix index. Per-job randomness derives from
+// derive_seed(campaign_seed, index, spec.seed) — never from scheduling,
+// thread identity or wall time — and results land in a vector slot keyed by
+// index, so a campaign's per-job results (and the deterministic CSV built
+// from them) are bit-identical at --threads=1 and --threads=N. Wall-clock
+// fields (JobResult::job_seconds, AttackResult::seconds, OracleStats::
+// seconds) are measured, not derived, and are excluded from deterministic
+// reports. For reproducible "t-o" cells, budget attacks with
+// AttackOptions::max_conflicts rather than a tight wall-clock timeout.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attack/attack.hpp"
+#include "engine/defense.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gshe::engine {
+
+/// One cell of the experiment matrix.
+struct JobSpec {
+    /// Circuit name, resolved through CampaignOptions::netlist_provider
+    /// (the Table III corpus by default).
+    std::string circuit;
+    DefenseConfig defense;
+    /// Attack registry key ("sat", "appsat", "double_dip").
+    std::string attack = "sat";
+    /// Matrix-level seed (e.g. repetition number); mixed into the derived
+    /// per-job seed.
+    std::uint64_t seed = 1;
+    attack::AttackOptions attack_options;
+};
+
+struct JobResult {
+    std::size_t index = 0;
+    std::string circuit;
+    std::string defense;     ///< DefenseConfig::label()
+    std::string attack;
+    std::uint64_t spec_seed = 0;
+    std::uint64_t derived_seed = 0;
+    std::size_t protected_cells = 0;
+    int key_bits = 0;
+    attack::AttackResult result;
+    attack::OracleStats oracle_stats;
+    double job_seconds = 0.0;  ///< wall clock incl. netlist/defense build
+    std::string error;         ///< non-empty: the job threw; result is default
+};
+
+struct CampaignResult {
+    std::vector<JobResult> jobs;  ///< matrix order, independent of threads
+    int threads = 1;
+    double wall_seconds = 0.0;
+
+    std::size_t succeeded() const;  ///< jobs whose attack reported Success
+    std::size_t errored() const;    ///< jobs that threw
+};
+
+struct CampaignOptions {
+    /// Worker threads; 0 = std::thread::hardware_concurrency().
+    int threads = 1;
+    /// Mixed into every job's derived seed; campaigns with different seeds
+    /// are independent replications of the same matrix.
+    std::uint64_t campaign_seed = 0x6a0b5eed;
+    /// Resolves JobSpec::circuit to a netlist. Defaults to the Table III
+    /// corpus (netlist::build_benchmark). Must be thread-safe.
+    std::function<netlist::Netlist(const std::string&)> netlist_provider;
+    /// Progress hook, invoked once per finished job. Serialized by the
+    /// runner (never concurrently), but from worker threads and in
+    /// completion order, which is scheduling-dependent.
+    std::function<void(const JobResult&)> on_job_done;
+};
+
+class CampaignRunner {
+public:
+    explicit CampaignRunner(CampaignOptions options = {});
+
+    /// Runs every job, returning per-job results in matrix order.
+    /// Individual job failures are captured in JobResult::error; run()
+    /// itself only throws on setup errors.
+    CampaignResult run(const std::vector<JobSpec>& jobs) const;
+
+    /// The deterministic per-job seed (splitmix64-style mixing of the
+    /// campaign seed, the job's matrix index and its spec seed).
+    static std::uint64_t derive_seed(std::uint64_t campaign_seed,
+                                     std::size_t job_index,
+                                     std::uint64_t spec_seed);
+
+    /// Builds the full cross-product matrix in row-major order
+    /// (circuit, then defense, then attack, then seed).
+    static std::vector<JobSpec> cross_product(
+        const std::vector<std::string>& circuits,
+        const std::vector<DefenseConfig>& defenses,
+        const std::vector<std::string>& attacks,
+        const std::vector<std::uint64_t>& seeds,
+        const attack::AttackOptions& attack_options);
+
+private:
+    JobResult run_job(const JobSpec& spec, std::size_t index) const;
+
+    CampaignOptions options_;
+};
+
+}  // namespace gshe::engine

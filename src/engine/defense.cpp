@@ -1,0 +1,98 @@
+#include "engine/defense.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "camo/cell_library.hpp"
+#include "camo/dynamic.hpp"
+#include "camo/protect.hpp"
+#include "camo/sarlock.hpp"
+#include "sta/delay_aware.hpp"
+
+namespace gshe::engine {
+
+namespace {
+
+std::string percent(double fraction) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g%%", fraction * 100.0);
+    return buf;
+}
+
+DefenseInstance from_protection(std::string label, camo::Protection prot) {
+    DefenseInstance inst;
+    inst.label = std::move(label);
+    inst.netlist = std::make_unique<netlist::Netlist>(std::move(prot.netlist));
+    inst.true_key = std::move(prot.true_key);
+    inst.protected_cells = inst.netlist->camo_cells().size();
+    inst.key_bits = inst.netlist->key_bit_count();
+    return inst;
+}
+
+}  // namespace
+
+std::string DefenseConfig::label() const {
+    if (kind == "sarlock") return "sarlock:m" + std::to_string(sarlock_bits);
+    std::string l = kind + ":" + library + "@" + percent(fraction);
+    if (kind == "stochastic") {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "~%g", accuracy);
+        l += buf;
+    } else if (kind == "dynamic") {
+        l += "/T" + std::to_string(rekey_interval);
+    }
+    return l;
+}
+
+DefenseInstance DefenseFactory::build(const netlist::Netlist& base,
+                                      const DefenseConfig& config,
+                                      std::uint64_t seed) {
+    const std::string label = config.label();
+    const std::uint64_t protect_seed = config.protect_seed.value_or(seed);
+
+    if (config.kind == "sarlock") {
+        DefenseInstance inst = from_protection(
+            label, camo::apply_sarlock(base, config.sarlock_bits, protect_seed));
+        inst.oracle = std::make_unique<attack::ExactOracle>(*inst.netlist);
+        return inst;
+    }
+
+    const camo::CellLibrary& lib = camo::library_by_name(config.library);
+
+    std::vector<netlist::GateId> selection;
+    if (config.kind == "delay_aware") {
+        sta::DelayAwareOptions opts;
+        opts.seed = protect_seed;
+        opts.max_fraction = config.fraction;
+        opts.restrict_to_nand_nor = true;
+        selection = sta::delay_aware_select(base, opts).replaced;
+    } else if (config.kind == "camo" || config.kind == "stochastic" ||
+               config.kind == "dynamic") {
+        selection = camo::select_gates(base, config.fraction, protect_seed);
+    } else {
+        throw std::invalid_argument("unknown defense kind: " + config.kind);
+    }
+
+    DefenseInstance inst = from_protection(
+        label, camo::apply_camouflage(base, selection, lib, protect_seed));
+
+    if (config.kind == "stochastic") {
+        inst.oracle = std::make_unique<attack::StochasticOracle>(
+            *inst.netlist, config.accuracy, seed);
+    } else if (config.kind == "dynamic") {
+        inst.oracle = std::make_unique<camo::RekeyingOracle>(
+            *inst.netlist, config.rekey_interval, config.scramble_frac,
+            config.duty_true, seed);
+    } else {
+        inst.oracle = std::make_unique<attack::ExactOracle>(*inst.netlist);
+    }
+    return inst;
+}
+
+const std::vector<std::string>& DefenseFactory::kinds() {
+    static const std::vector<std::string> k = {
+        "camo", "delay_aware", "sarlock", "stochastic", "dynamic"};
+    return k;
+}
+
+}  // namespace gshe::engine

@@ -1,0 +1,89 @@
+#pragma once
+// DefenseFactory: every protection scheme of the paper's study behind one
+// configuration struct, so campaign job matrices can treat "which defense"
+// as data.
+//
+// A defense is more than a netlist transformation — the Sec. V-B stochastic
+// regime and the Sec. V-C runtime polymorphism live in the *oracle*, not in
+// the netlist. A DefenseInstance therefore bundles the protected netlist,
+// the defender's ground-truth key, and the oracle an attacker would face:
+//
+//   camo         static camouflaging (Sec. V-A): select + apply a cell
+//                library, exact oracle
+//   delay_aware  zero-overhead hybrid (Sec. V-A industrial study): slack-
+//                driven gate selection, exact oracle
+//   sarlock      SARLock-class point-function baseline [6], exact oracle
+//   stochastic   static camouflaging queried through devices at tunable
+//                accuracy (Sec. V-B)
+//   dynamic      static camouflaging with periodic re-keying (Sec. V-C /
+//                Koteshwara-style dynamic protection)
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/oracle.hpp"
+#include "camo/key.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gshe::engine {
+
+struct DefenseConfig {
+    /// One of DefenseFactory::kinds(): "camo", "delay_aware", "sarlock",
+    /// "stochastic", "dynamic".
+    std::string kind = "camo";
+    /// Camouflaged-cell library (all kinds except sarlock).
+    std::string library = "gshe16";
+    /// Protected fraction of logic gates (camo/stochastic/dynamic; upper
+    /// cap for delay_aware where slack decides).
+    double fraction = 0.10;
+    /// SARLock: number of protected input bits (DIP count ~ 2^m).
+    int sarlock_bits = 4;
+    /// Stochastic: per-device evaluation accuracy in (0, 1].
+    double accuracy = 0.95;
+    /// Dynamic: oracle queries per re-keying epoch.
+    std::uint64_t rekey_interval = 64;
+    /// Dynamic: fraction of cells scrambled in a scrambled epoch.
+    double scramble_frac = 0.5;
+    /// Dynamic: fraction of epochs running the true functionality.
+    double duty_true = 0.5;
+    /// When set, overrides the job-derived seed for gate selection and
+    /// camouflage application (oracle noise still follows the job seed).
+    /// The Table IV methodology needs this: "gates are randomly selected
+    /// once for each benchmark, memorized, and then reapplied across all
+    /// techniques" — i.e. the same selection for every library column.
+    std::optional<std::uint64_t> protect_seed;
+
+    /// Deterministic short description, e.g. "camo:gshe16@10%",
+    /// "sarlock:m4", "stochastic:gshe16@10%~0.95". Used as the report key.
+    std::string label() const;
+};
+
+/// A built defense: the protected netlist plus the oracle the attacker
+/// queries. The netlist is heap-held so the instance can be moved while the
+/// oracle keeps pointing into it.
+struct DefenseInstance {
+    std::string label;
+    std::unique_ptr<netlist::Netlist> netlist;
+    camo::Key true_key;
+    std::size_t protected_cells = 0;
+    int key_bits = 0;
+    std::unique_ptr<attack::Oracle> oracle;
+};
+
+class DefenseFactory {
+public:
+    /// Builds `config` over a copy of `base`. All randomness (gate
+    /// selection, camouflage application, oracle noise) derives from `seed`.
+    /// Throws std::invalid_argument on unknown kind/library.
+    static DefenseInstance build(const netlist::Netlist& base,
+                                 const DefenseConfig& config,
+                                 std::uint64_t seed);
+
+    /// The supported kind strings, in documentation order.
+    static const std::vector<std::string>& kinds();
+};
+
+}  // namespace gshe::engine

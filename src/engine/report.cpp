@@ -1,0 +1,146 @@
+#include "engine/report.hpp"
+
+#include <cstdio>
+
+#include "common/report.hpp"
+
+namespace gshe::engine {
+
+std::string campaign_csv(const CampaignResult& result, bool include_timing) {
+    std::vector<std::string> header = {
+        "job",           "circuit",        "defense",      "attack",
+        "seed",          "status",         "iterations",   "oracle_patterns",
+        "oracle_calls",  "protected_cells", "key_bits",    "key_error_rate",
+        "key_exact",     "conflicts",      "decisions",    "propagations",
+        "error"};
+    if (include_timing) {
+        header.push_back("attack_seconds");
+        header.push_back("oracle_seconds");
+        header.push_back("job_seconds");
+    }
+    Csv csv(std::move(header));
+
+    for (const auto& j : result.jobs) {
+        const auto& r = j.result;
+        std::vector<std::string> row = {
+            Csv::num(static_cast<std::uint64_t>(j.index)),
+            j.circuit,
+            j.defense,
+            j.attack,
+            Csv::num(j.spec_seed),
+            j.error.empty() ? attack::AttackResult::status_name(r.status)
+                            : "error",
+            Csv::num(static_cast<std::uint64_t>(r.iterations)),
+            Csv::num(r.oracle_patterns),
+            Csv::num(j.oracle_stats.calls),
+            Csv::num(static_cast<std::uint64_t>(j.protected_cells)),
+            Csv::num(static_cast<std::uint64_t>(j.key_bits)),
+            Csv::num(r.key_error_rate),
+            r.key_exact ? "1" : "0",
+            Csv::num(r.solver_stats.conflicts),
+            Csv::num(r.solver_stats.decisions),
+            Csv::num(r.solver_stats.propagations),
+            j.error};
+        if (include_timing) {
+            row.push_back(Csv::num(r.seconds));
+            row.push_back(Csv::num(j.oracle_stats.seconds));
+            row.push_back(Csv::num(j.job_seconds));
+        }
+        csv.row(std::move(row));
+    }
+    return csv.render();
+}
+
+std::string campaign_json(const CampaignResult& result) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("threads");
+    w.value(static_cast<std::int64_t>(result.threads));
+    w.key("wall_seconds");
+    w.value(result.wall_seconds);
+    w.key("jobs");
+    w.begin_array();
+    for (const auto& j : result.jobs) {
+        const auto& r = j.result;
+        w.begin_object();
+        w.key("job");
+        w.value(static_cast<std::uint64_t>(j.index));
+        w.key("circuit");
+        w.value(j.circuit);
+        w.key("defense");
+        w.value(j.defense);
+        w.key("attack");
+        w.value(j.attack);
+        w.key("seed");
+        w.value(j.spec_seed);
+        w.key("derived_seed");
+        w.value(j.derived_seed);
+        if (!j.error.empty()) {
+            w.key("error");
+            w.value(j.error);
+        } else {
+            w.key("status");
+            w.value(attack::AttackResult::status_name(r.status));
+            w.key("iterations");
+            w.value(static_cast<std::uint64_t>(r.iterations));
+            w.key("protected_cells");
+            w.value(static_cast<std::uint64_t>(j.protected_cells));
+            w.key("key_bits");
+            w.value(static_cast<std::uint64_t>(j.key_bits));
+            w.key("key_error_rate");
+            w.value(r.key_error_rate);
+            w.key("key_exact");
+            w.value(r.key_exact);
+            w.key("attack_seconds");
+            w.value(r.seconds);
+            w.key("solver");
+            w.begin_object();
+            w.key("conflicts");
+            w.value(r.solver_stats.conflicts);
+            w.key("decisions");
+            w.value(r.solver_stats.decisions);
+            w.key("propagations");
+            w.value(r.solver_stats.propagations);
+            w.key("restarts");
+            w.value(r.solver_stats.restarts);
+            w.end_object();
+            w.key("oracle");
+            w.begin_object();
+            w.key("calls");
+            w.value(j.oracle_stats.calls);
+            w.key("single_calls");
+            w.value(j.oracle_stats.single_calls);
+            w.key("patterns");
+            w.value(j.oracle_stats.patterns);
+            w.key("seconds");
+            w.value(j.oracle_stats.seconds);
+            w.key("batch_log2_hist");
+            w.begin_array();
+            for (const auto count : j.oracle_stats.batch_log2_hist)
+                w.value(count);
+            w.end_array();
+            w.end_object();
+        }
+        w.key("job_seconds");
+        w.value(j.job_seconds);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str() + "\n";
+}
+
+std::string campaign_summary(const CampaignResult& result) {
+    std::size_t timed_out = 0;
+    for (const auto& j : result.jobs)
+        if (j.error.empty() && j.result.timed_out()) ++timed_out;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%zu jobs on %d thread(s): %zu success, %zu t-o, %zu errors "
+                  "in %.2f s",
+                  result.jobs.size(), result.threads, result.succeeded(),
+                  timed_out, result.errored(), result.wall_seconds);
+    return buf;
+}
+
+}  // namespace gshe::engine

@@ -1,0 +1,226 @@
+// run_campaign — the campaign engine's CLI: schedules a
+// {circuit x defense x attack x seed} job matrix across a thread pool and
+// writes structured reports.
+//
+// The default matrix is 2 circuits x 3 defenses x 2 attacks x 2 seeds =
+// 24 jobs. Attacks are budgeted with the deterministic conflict cap
+// (--max-conflicts), not the wall clock, so the CSV report is byte-identical
+// for any --threads value:
+//
+//   run_campaign --threads=1 --csv=a.csv
+//   run_campaign --threads=8 --csv=b.csv
+//   cmp a.csv b.csv          # identical
+//
+// Examples:
+//   run_campaign                                # default matrix, CSV to stdout
+//   run_campaign --threads=0 --json=full.json   # all cores, full JSON record
+//   run_campaign --circuits=ex1010 --defenses=stochastic --accuracy=0.9
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "attack/attack.hpp"
+#include "common/report.hpp"
+#include "engine/campaign.hpp"
+#include "engine/defense.hpp"
+#include "engine/report.hpp"
+#include "netlist/corpus.hpp"
+
+using namespace gshe;
+using namespace gshe::engine;
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t end = s.find(sep, start);
+        if (end == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+struct Cli {
+    int threads = 1;
+    std::vector<std::string> circuits = {"ex1010", "c7552"};
+    std::vector<std::string> defenses = {"camo", "sarlock", "stochastic"};
+    std::vector<std::string> attacks = {"sat", "double_dip"};
+    int n_seeds = 2;
+    double fraction = 0.05;
+    std::string library = "gshe16";
+    int sarlock_bits = 4;
+    double accuracy = 0.95;
+    std::uint64_t max_conflicts = 50000;
+    double timeout_seconds = 3600.0;
+    std::uint64_t campaign_seed = 0x6a0b5eed;
+    std::string csv_path = "-";
+    std::string json_path;
+    bool timing = false;
+    bool quiet = false;
+};
+
+void usage() {
+    std::puts(
+        "usage: run_campaign [--key=value ...]\n"
+        "  --threads=N        worker threads (default 1; 0 = all cores)\n"
+        "  --circuits=a,b     Table III corpus circuits (default ex1010,c7552)\n"
+        "  --defenses=k,...   defense kinds (default camo,sarlock,stochastic;\n"
+        "                     also: delay_aware, dynamic)\n"
+        "  --attacks=a,...    attacks (default sat,double_dip; also: appsat)\n"
+        "  --seeds=N          replications with seeds 1..N (default 2)\n"
+        "  --fraction=F       protected gate fraction (default 0.05)\n"
+        "  --library=NAME     camouflage cell library (default gshe16)\n"
+        "  --sarlock-bits=M   SARLock protected bits (default 4)\n"
+        "  --accuracy=A       stochastic device accuracy (default 0.95)\n"
+        "  --max-conflicts=N  deterministic solver budget (default 50000)\n"
+        "  --timeout=S        wall-clock safety timeout per attack (default 3600)\n"
+        "  --campaign-seed=N  campaign-level seed\n"
+        "  --csv=PATH         CSV report destination ('-' = stdout, default)\n"
+        "  --json=PATH        full JSON report (includes timing; not\n"
+        "                     byte-reproducible)\n"
+        "  --timing           add wall-clock columns to the CSV (breaks the\n"
+        "                     byte-identical guarantee)\n"
+        "  --quiet            suppress per-job progress on stderr\n"
+        "  --list             list circuits/defenses/attacks and exit");
+}
+
+void list_choices() {
+    std::printf("circuits (Table III corpus):\n");
+    for (const auto& e : netlist::corpus_entries())
+        std::printf("  %-14s %s\n", e.name.c_str(), e.suite.c_str());
+    std::printf("defenses:\n");
+    for (const auto& k : DefenseFactory::kinds())
+        std::printf("  %s\n", k.c_str());
+    std::printf("attacks:\n");
+    for (const auto& name : attack::attack_names()) {
+        const attack::Attack& a = attack::attack_by_name(name);
+        std::printf("  %-11s %s\n", name.c_str(), a.label().c_str());
+    }
+}
+
+bool parse(Cli& cli, int argc, char** argv, bool& exit_ok) {
+    exit_ok = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto starts = [&](const char* p) {
+            return arg.rfind(p, 0) == 0;
+        };
+        const auto val = [&] { return arg.substr(arg.find('=') + 1); };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            exit_ok = true;
+            return true;
+        }
+        if (arg == "--list") {
+            list_choices();
+            exit_ok = true;
+            return true;
+        }
+        if (arg == "--timing") { cli.timing = true; continue; }
+        if (arg == "--quiet") { cli.quiet = true; continue; }
+        if (arg.find('=') == std::string::npos) return false;
+        if (starts("--threads=")) cli.threads = std::atoi(val().c_str());
+        else if (starts("--circuits=")) cli.circuits = split(val(), ',');
+        else if (starts("--defenses=")) cli.defenses = split(val(), ',');
+        else if (starts("--attacks=")) cli.attacks = split(val(), ',');
+        else if (starts("--seeds=")) cli.n_seeds = std::atoi(val().c_str());
+        else if (starts("--fraction=")) cli.fraction = std::atof(val().c_str());
+        else if (starts("--library=")) cli.library = val();
+        else if (starts("--sarlock-bits=")) cli.sarlock_bits = std::atoi(val().c_str());
+        else if (starts("--accuracy=")) cli.accuracy = std::atof(val().c_str());
+        else if (starts("--max-conflicts=")) cli.max_conflicts = std::strtoull(val().c_str(), nullptr, 10);
+        else if (starts("--timeout=")) cli.timeout_seconds = std::atof(val().c_str());
+        else if (starts("--campaign-seed=")) cli.campaign_seed = std::strtoull(val().c_str(), nullptr, 10);
+        else if (starts("--csv=")) cli.csv_path = val();
+        else if (starts("--json=")) cli.json_path = val();
+        else return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Cli cli;
+    bool exit_ok = false;
+    if (!parse(cli, argc, argv, exit_ok)) {
+        usage();
+        return 2;
+    }
+    if (exit_ok) return 0;
+
+    // Build the job matrix.
+    std::vector<DefenseConfig> defenses;
+    for (const auto& kind : cli.defenses) {
+        DefenseConfig d;
+        d.kind = kind;
+        d.library = cli.library;
+        d.fraction = cli.fraction;
+        d.sarlock_bits = cli.sarlock_bits;
+        d.accuracy = cli.accuracy;
+        defenses.push_back(std::move(d));
+    }
+    std::vector<std::uint64_t> seeds;
+    for (int s = 1; s <= cli.n_seeds; ++s)
+        seeds.push_back(static_cast<std::uint64_t>(s));
+
+    attack::AttackOptions attack_options;
+    attack_options.timeout_seconds = cli.timeout_seconds;
+    attack_options.max_conflicts = cli.max_conflicts;
+
+    const std::vector<JobSpec> jobs = CampaignRunner::cross_product(
+        cli.circuits, defenses, cli.attacks, seeds, attack_options);
+    if (jobs.empty()) {
+        std::fprintf(stderr, "empty job matrix\n");
+        return 2;
+    }
+
+    CampaignOptions options;
+    options.threads = cli.threads;
+    options.campaign_seed = cli.campaign_seed;
+    if (!cli.quiet)
+        options.on_job_done = [&](const JobResult& j) {
+            std::fprintf(stderr, "[%3zu/%zu] %-8s %-28s %-10s seed=%llu  %s\n",
+                         j.index + 1, jobs.size(), j.circuit.c_str(),
+                         j.defense.c_str(), j.attack.c_str(),
+                         static_cast<unsigned long long>(j.spec_seed),
+                         j.error.empty()
+                             ? attack::AttackResult::status_name(j.result.status)
+                                   .c_str()
+                             : j.error.c_str());
+        };
+
+    const CampaignRunner runner(options);
+    CampaignResult result;
+    try {
+        result = runner.run(jobs);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "campaign failed: %s\n", e.what());
+        return 1;
+    }
+
+    const std::string csv = campaign_csv(result, cli.timing);
+    try {
+        if (cli.csv_path == "-") {
+            std::fputs(csv.c_str(), stdout);
+        } else if (!cli.csv_path.empty()) {
+            write_text_file(cli.csv_path, csv);
+        }
+        if (!cli.json_path.empty())
+            write_text_file(cli.json_path, campaign_json(result));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "report write failed: %s\n", e.what());
+        return 1;
+    }
+
+    std::fprintf(stderr, "%s\n", campaign_summary(result).c_str());
+    return result.errored() == 0 ? 0 : 1;
+}

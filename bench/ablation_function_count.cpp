@@ -1,76 +1,75 @@
 // A1 — Ablation: SAT-attack effort vs the number of cloaked functions k.
 // Table IV varies k only through the prior-art libraries (which differ in
 // composition too); this ablation isolates k on a single circuit and a
-// single selection by cloaking nested subsets of the 16-function space.
-// Expected: DIP count and runtime grow monotonically (roughly linearly in
-// key bits = |selection| * ceil(log2 k), super-linearly in wall time).
+// single selection by cloaking nested subsets of the 16-function space
+// (camo::ablation_library). Expected: DIP count and runtime grow
+// monotonically (roughly linearly in key bits = |selection| * ceil(log2 k),
+// super-linearly in wall time).
+//
+// The k-ladder is one CampaignRunner job matrix; the shared protect_seed
+// memorizes one NAND/NOR selection across every rung.
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
-#include "attack/oracle.hpp"
-#include "attack/sat_attack.hpp"
-#include "bench_util.hpp"
 #include "camo/cell_library.hpp"
-#include "camo/protect.hpp"
+#include "bench_util.hpp"
 #include "common/ascii_table.hpp"
+#include "engine/campaign.hpp"
 #include "netlist/corpus.hpp"
 
 using namespace gshe;
 using namespace gshe::attack;
-using core::Bool2;
+using namespace gshe::engine;
 
 int main() {
     bench::banner("ABLATION", "SAT-attack effort vs cloaked-function count k");
     const double timeout = std::max(bench::attack_timeout_s(), 5.0);
 
-    // Nested candidate sets, every one containing NAND and NOR so one
-    // selection serves all (the true function is always a member).
-    const std::vector<std::pair<int, std::vector<Bool2>>> ladders = {
-        {2, {Bool2::NAND(), Bool2::NOR()}},
-        {3, {Bool2::NAND(), Bool2::NOR(), Bool2::XOR()}},
-        {4, {Bool2::NAND(), Bool2::NOR(), Bool2::XOR(), Bool2::XNOR()}},
-        {6,
-         {Bool2::NAND(), Bool2::NOR(), Bool2::XOR(), Bool2::XNOR(),
-          Bool2::AND(), Bool2::OR()}},
-        {8,
-         {Bool2::NAND(), Bool2::NOR(), Bool2::XOR(), Bool2::XNOR(),
-          Bool2::AND(), Bool2::OR(), Bool2::NOT_A(), Bool2::A()}},
-        {16, {Bool2::all().begin(), Bool2::all().end()}},
-    };
+    const std::vector<int> ks = {2, 3, 4, 6, 8, 16};
+    std::vector<DefenseConfig> defenses;
+    for (const int k : ks) {
+        DefenseConfig d;
+        d.kind = "camo";
+        d.library = camo::ablation_library(k).name;
+        d.fraction = 0.10;
+        d.protect_seed = 0xAB1;  // same memorized selection for every rung
+        defenses.push_back(std::move(d));
+    }
+    AttackOptions opt;
+    opt.timeout_seconds = timeout;
+    const auto jobs =
+        CampaignRunner::cross_product({"c7552"}, defenses, {"sat"}, {1}, opt);
+
+    CampaignOptions copts;
+    copts.threads = bench::campaign_threads();
+    const CampaignResult campaign = CampaignRunner(copts).run(jobs);
 
     const netlist::Netlist nl = netlist::build_benchmark("c7552");
-    const auto sel = camo::select_gates(nl, 0.10, 0xAB1);
     std::printf("circuit: c7552 stand-in (%zu gates), %zu camouflaged cells, "
                 "timeout %.1f s\n",
-                nl.logic_gate_count(), sel.size(), timeout);
+                nl.logic_gate_count(), campaign.jobs.front().protected_cells,
+                timeout);
 
     AsciiTable t("Effort vs k (same circuit, same memorized selection)");
     t.header({"k", "key bits", "key space", "DIPs", "time", "conflicts",
               "status"});
-    for (const auto& [k, fns] : ladders) {
-        camo::CellLibrary lib;
-        lib.name = "ablation_k" + std::to_string(k);
-        lib.citation = "k=" + std::to_string(k);
-        lib.functions = fns;
-        const auto prot = camo::apply_camouflage(nl, sel, lib, 0xAB1);
-        ExactOracle oracle(prot.netlist);
-        AttackOptions opt;
-        opt.timeout_seconds = timeout;
-        const AttackResult res = sat_attack(prot.netlist, oracle, opt);
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+        const JobResult& j = campaign.jobs[i];
+        const AttackResult& res = j.result;
         char space[32];
         std::snprintf(space, sizeof space, "%.3g",
-                      std::pow(static_cast<double>(k),
-                               static_cast<double>(sel.size())));
-        t.row({std::to_string(k), std::to_string(prot.netlist.key_bit_count()),
-               space, std::to_string(res.iterations),
+                      std::pow(static_cast<double>(ks[i]),
+                               static_cast<double>(j.protected_cells)));
+        t.row({std::to_string(ks[i]), std::to_string(j.key_bits), space,
+               std::to_string(res.iterations),
                AsciiTable::runtime(res.seconds, res.timed_out()),
                std::to_string(res.solver_stats.conflicts),
-               res.status == AttackResult::Status::Success
-                   ? (res.key_exact ? "exact" : "wrong")
-                   : "t-o"});
-        std::fflush(stdout);
+               bench::status_cell(j)});
     }
     std::puts(t.render().c_str());
+    std::printf("campaign: %zu jobs, %.1f s wall on %d thread(s)\n",
+                campaign.jobs.size(), campaign.wall_seconds, campaign.threads);
     std::puts("The solution space |C| = k^cells is the defender's lever: the");
     std::puts("16-function GSHE cell maximizes it at constant layout cost.");
     return 0;

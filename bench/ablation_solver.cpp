@@ -2,36 +2,31 @@
 // identical camouflaged-circuit attack with individual solver features
 // disabled. Expected: clause learning is load-bearing (without it the
 // attack times out); VSIDS and restarts give large constant factors.
+//
+// The configurations become one CampaignRunner job matrix: JobSpec carries
+// per-job AttackOptions, so each job pins its own solver feature toggles
+// while circuit, defense and selection stay fixed.
 #include <cstdio>
+#include <vector>
 
-#include "attack/oracle.hpp"
-#include "attack/sat_attack.hpp"
 #include "bench_util.hpp"
-#include "camo/cell_library.hpp"
-#include "camo/protect.hpp"
 #include "common/ascii_table.hpp"
+#include "engine/campaign.hpp"
 #include "netlist/corpus.hpp"
 
 using namespace gshe;
 using namespace gshe::attack;
+using namespace gshe::engine;
 
 int main() {
     bench::banner("ABLATION", "CDCL solver features under the SAT attack");
     const double timeout = std::max(bench::attack_timeout_s(), 5.0);
 
-    // 5% protection: solvable by a competent CDCL within seconds, so the
-    // feature gaps (and the DPLL collapse) are visible rather than all-t-o.
-    const netlist::Netlist nl = netlist::build_benchmark("c7552");
-    const auto sel = camo::select_gates(nl, 0.05, 0xAB2);
-    const auto prot = camo::apply_camouflage(nl, sel, camo::gshe16(), 0xAB2);
-    std::printf("circuit: c7552 stand-in, %zu 16-function cells, timeout %.1f s\n",
-                prot.netlist.camo_cells().size(), timeout);
-
     struct Config {
         const char* name;
         sat::Solver::Options opts;
     };
-    const Config configs[] = {
+    const std::vector<Config> configs = {
         {"full CDCL (baseline)", {}},
         {"no VSIDS (index order)", {.use_vsids = false}},
         {"no restarts", {.use_restarts = false}},
@@ -39,25 +34,43 @@ int main() {
         {"no clause learning (DPLL)", {.use_learning = false}},
     };
 
+    // 5% protection: solvable by a competent CDCL within seconds, so the
+    // feature gaps (and the DPLL collapse) are visible rather than all-t-o.
+    std::vector<JobSpec> jobs;
+    for (const Config& c : configs) {
+        JobSpec spec;
+        spec.circuit = "c7552";
+        spec.defense.kind = "camo";
+        spec.defense.library = "gshe16";
+        spec.defense.fraction = 0.05;
+        spec.defense.protect_seed = 0xAB2;
+        spec.attack = "sat";
+        spec.attack_options.timeout_seconds = timeout;
+        spec.attack_options.solver = c.opts;
+        jobs.push_back(std::move(spec));
+    }
+
+    CampaignOptions copts;
+    copts.threads = bench::campaign_threads();
+    const CampaignResult campaign = CampaignRunner(copts).run(jobs);
+
+    std::printf("circuit: c7552 stand-in, %zu 16-function cells, timeout %.1f s\n",
+                campaign.jobs.front().protected_cells, timeout);
+
     AsciiTable t("Attack cost by solver configuration");
     t.header({"configuration", "status", "time", "DIPs", "conflicts",
               "propagations"});
-    for (const Config& c : configs) {
-        ExactOracle oracle(prot.netlist);
-        AttackOptions opt;
-        opt.timeout_seconds = timeout;
-        opt.solver = c.opts;
-        const AttackResult res = sat_attack(prot.netlist, oracle, opt);
-        t.row({c.name,
-               res.status == AttackResult::Status::Success
-                   ? (res.key_exact ? "exact" : "wrong")
-                   : "t-o",
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const JobResult& j = campaign.jobs[i];
+        const AttackResult& res = j.result;
+        t.row({configs[i].name, bench::status_cell(j),
                AsciiTable::runtime(res.seconds, res.timed_out()),
                std::to_string(res.iterations),
                std::to_string(res.solver_stats.conflicts),
                std::to_string(res.solver_stats.propagations)});
-        std::fflush(stdout);
     }
     std::puts(t.render().c_str());
+    std::printf("campaign: %zu jobs, %.1f s wall on %d thread(s)\n",
+                campaign.jobs.size(), campaign.wall_seconds, campaign.threads);
     return 0;
 }

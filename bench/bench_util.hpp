@@ -19,6 +19,7 @@
 #include <string>
 
 #include "common/env.hpp"
+#include "engine/campaign.hpp"
 
 namespace gshe::bench {
 
@@ -29,6 +30,16 @@ inline double attack_timeout_s() { return env_double("GSHE_TIMEOUT_S", 5.0); }
 /// cross-job contention, matching the paper's one-attack-at-a-time setup.
 inline int campaign_threads() {
     return static_cast<int>(env_long("GSHE_THREADS", 1));
+}
+
+/// Compact status cell shared by the campaign-based bench tables:
+/// "error" | "exact" (right key) | "wrong" (converged on a wrong key) |
+/// "t-o" (budget exhausted / no convergence).
+inline std::string status_cell(const engine::JobResult& j) {
+    if (!j.error.empty()) return "error";
+    if (j.result.status == attack::AttackResult::Status::Success)
+        return j.result.key_exact ? "exact" : "wrong";
+    return "t-o";
 }
 
 inline void banner(const char* id, const char* title) {

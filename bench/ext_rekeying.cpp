@@ -8,58 +8,79 @@
 // once the re-key interval drops below the attack's query need, the
 // constraint set turns inconsistent — deterministic devices, same collapse
 // as the stochastic mode.
+//
+// The interval sweep is one CampaignRunner job matrix over the "dynamic"
+// defense kind; JobResult::oracle_epochs carries the epochs-seen column.
 #include <cstdio>
+#include <vector>
 
-#include "attack/sat_attack.hpp"
 #include "bench_util.hpp"
-#include "camo/cell_library.hpp"
-#include "camo/dynamic.hpp"
-#include "camo/protect.hpp"
 #include "common/ascii_table.hpp"
+#include "engine/campaign.hpp"
 #include "netlist/corpus.hpp"
 
 using namespace gshe;
 using namespace gshe::attack;
+using namespace gshe::engine;
 
 int main() {
     bench::banner("EXTENSION", "dynamic re-keying vs the SAT attack");
     const double timeout = std::max(bench::attack_timeout_s(), 15.0);
 
-    const netlist::Netlist nl = netlist::build_benchmark("ex1010");
-    const auto sel = camo::select_gates(nl, 0.10, 0x40);
-    const auto prot = camo::apply_camouflage(nl, sel, camo::gshe16(), 0x40);
+    const std::vector<std::uint64_t> intervals = {0, 1000, 100, 10, 2};
+    std::vector<DefenseConfig> defenses;
+    for (const std::uint64_t interval : intervals) {
+        DefenseConfig d;
+        d.kind = "dynamic";
+        d.fraction = 0.10;
+        d.rekey_interval = interval;  // 0 = static (re-keying disabled)
+        d.scramble_frac = 0.5;
+        d.duty_true = 0.3;
+        d.protect_seed = 0x40;  // one selection for the whole sweep
+        defenses.push_back(std::move(d));
+    }
+    AttackOptions opt;
+    opt.timeout_seconds = timeout;
+    const auto jobs =
+        CampaignRunner::cross_product({"ex1010"}, defenses, {"sat"}, {1}, opt);
+
+    CampaignOptions copts;
+    copts.threads = bench::campaign_threads();
+    const CampaignResult campaign = CampaignRunner(copts).run(jobs);
+
     std::printf("circuit: ex1010 stand-in, %zu GSHE cells; attack needs ~20-50 "
                 "oracle queries when static\n\n",
-                prot.netlist.camo_cells().size());
+                campaign.jobs.front().protected_cells);
 
     AsciiTable t("Attack outcome vs re-key interval (queries per epoch)");
     t.header({"interval", "epochs seen", "attack outcome", "DIPs", "time"});
-    for (const std::uint64_t interval : {0ULL, 1000ULL, 100ULL, 10ULL, 2ULL}) {
-        camo::RekeyingOracle oracle(prot.netlist, interval,
-                                    /*scramble_frac=*/0.5, /*duty_true=*/0.3,
-                                    0x41);
-        AttackOptions opt;
-        opt.timeout_seconds = timeout;
-        const AttackResult res = sat_attack(prot.netlist, oracle, opt);
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+        const JobResult& j = campaign.jobs[i];
+        const AttackResult& res = j.result;
         std::string outcome;
-        switch (res.status) {
-            case AttackResult::Status::Success:
-                outcome = res.key_exact ? "BROKEN (exact key)"
-                                        : "defeated (wrong key)";
-                break;
-            case AttackResult::Status::Inconsistent:
-                outcome = "defeated (inconsistent)";
-                break;
-            default:
-                outcome = "t-o";
+        if (!j.error.empty()) {
+            outcome = "error";
+        } else {
+            switch (res.status) {
+                case AttackResult::Status::Success:
+                    outcome = res.key_exact ? "BROKEN (exact key)"
+                                            : "defeated (wrong key)";
+                    break;
+                case AttackResult::Status::Inconsistent:
+                    outcome = "defeated (inconsistent)";
+                    break;
+                default:
+                    outcome = "t-o";
+            }
         }
-        t.row({interval == 0 ? "static" : std::to_string(interval),
-               std::to_string(oracle.epochs_elapsed()), outcome,
+        t.row({intervals[i] == 0 ? "static" : std::to_string(intervals[i]),
+               std::to_string(j.oracle_epochs), outcome,
                std::to_string(res.iterations),
                AsciiTable::runtime(res.seconds, res.timed_out())});
-        std::fflush(stdout);
     }
     std::puts(t.render().c_str());
+    std::printf("campaign: %zu jobs, %.1f s wall on %d thread(s)\n",
+                campaign.jobs.size(), campaign.wall_seconds, campaign.threads);
     std::puts("A static chip (or one re-keyed slower than the attack's query");
     std::puts("count) is broken; once re-keying outpaces the DIP loop, the");
     std::puts("attack collapses — runtime polymorphism as dynamic protection,");

@@ -63,12 +63,6 @@ int main() {
     };
     const CampaignResult campaign = CampaignRunner(copts).run(jobs);
 
-    const auto status_cell = [](const JobResult& j) {
-        if (!j.error.empty()) return std::string("error");
-        return j.result.status == AttackResult::Status::Success
-                   ? std::string(j.result.key_exact ? "exact" : "wrong")
-                   : std::string("t-o");
-    };
     const auto per_dip_cell = [](const AttackResult& res) {
         char buf[32];
         std::snprintf(buf, sizeof buf, "%.4f",
@@ -85,7 +79,7 @@ int main() {
                 std::to_string((1 << sarlock_bits[i]) - 1),
                 std::to_string(res.iterations),
                 AsciiTable::runtime(res.seconds, res.timed_out()),
-                per_dip_cell(res), status_cell(j)});
+                per_dip_cell(res), bench::status_cell(j)});
     }
     std::puts(t1.render().c_str());
 
@@ -97,7 +91,7 @@ int main() {
         t2.row({AsciiTable::num(camo_fractions[i] * 100, 3) + "%",
                 std::to_string(j.key_bits), std::to_string(res.iterations),
                 AsciiTable::runtime(res.seconds, res.timed_out()),
-                per_dip_cell(res), status_cell(j)});
+                per_dip_cell(res), bench::status_cell(j)});
     }
     std::puts(t2.render().c_str());
 

@@ -9,26 +9,29 @@
 // [12], AppSAT-style [11]) against the probabilistic oracle. The accuracy
 // knob is physically grounded: it is the write-pulse-width choice of the
 // lognormal delay model fit to the sLLGS Monte Carlo.
+//
+// The 4x3 {accuracy x attack} grid is one CampaignRunner job matrix over
+// the "stochastic" defense; the shared protect_seed memorizes one gate
+// selection across all accuracy rows.
 #include <cstdio>
+#include <vector>
 
-#include "attack/appsat.hpp"
-#include "attack/double_dip.hpp"
-#include "attack/oracle.hpp"
-#include "attack/sat_attack.hpp"
 #include "bench_util.hpp"
-#include "camo/cell_library.hpp"
-#include "camo/protect.hpp"
 #include "common/ascii_table.hpp"
 #include "core/gshe_switch.hpp"
 #include "core/stochastic.hpp"
+#include "engine/campaign.hpp"
 #include "netlist/corpus.hpp"
 
 using namespace gshe;
 using namespace gshe::attack;
+using namespace gshe::engine;
 
 namespace {
 
-std::string outcome(const AttackResult& res) {
+std::string outcome(const JobResult& j) {
+    if (!j.error.empty()) return "error";
+    const AttackResult& res = j.result;
     switch (res.status) {
         case AttackResult::Status::Success:
             if (res.key_exact) return "BROKEN (exact key)";
@@ -74,36 +77,44 @@ int main() {
         std::puts(t.render().c_str());
     }
 
-    const netlist::Netlist nl = netlist::build_benchmark("ex1010");
-    const auto sel = camo::select_gates(nl, 0.10, 0x5b2);
-    const auto prot = camo::apply_camouflage(nl, sel, camo::gshe16(), 0x5b2);
+    const std::vector<double> accuracies = {1.0, 0.99, 0.95, 0.90};
+    const std::vector<std::string> attacks = {"sat", "double_dip", "appsat"};
+    std::vector<DefenseConfig> defenses;
+    for (const double acc : accuracies) {
+        DefenseConfig d;
+        d.kind = "stochastic";
+        d.fraction = 0.10;
+        d.accuracy = acc;
+        d.protect_seed = 0x5b2;  // one memorized selection for every row
+        defenses.push_back(std::move(d));
+    }
+    AttackOptions opt;
+    opt.timeout_seconds = timeout;
+    opt.appsat_error_threshold = 0.01;  // PAC tolerance
+    const auto jobs = CampaignRunner::cross_product({"ex1010"}, defenses,
+                                                    attacks, {1}, opt);
+
+    CampaignOptions copts;
+    copts.threads = bench::campaign_threads();
+    const CampaignResult campaign = CampaignRunner(copts).run(jobs);
+
+    const JobResult& first = campaign.jobs.front();
     std::printf("circuit: ex1010 stand-in, %zu camouflaged 16-function cells, "
                 "%d key bits\n\n",
-                prot.netlist.camo_cells().size(), prot.netlist.key_bit_count());
+                first.protected_cells, first.key_bits);
 
     AsciiTable t("Attack outcome vs device accuracy (timeout " +
                  AsciiTable::num(timeout, 3) + " s)");
     t.header({"accuracy", "SAT attack [8]", "Double DIP [12]", "AppSAT-style [11]"});
-
-    for (const double acc : {1.0, 0.99, 0.95, 0.90}) {
-        AttackOptions opt;
-        opt.timeout_seconds = timeout;
-
-        StochasticOracle o1(prot.netlist, acc, 0xA1);
-        const AttackResult r1 = sat_attack(prot.netlist, o1, opt);
-        StochasticOracle o2(prot.netlist, acc, 0xA2);
-        const AttackResult r2 = double_dip_attack(prot.netlist, o2, opt);
-        StochasticOracle o3(prot.netlist, acc, 0xA3);
-        AppSatOptions ao;
-        ao.base = opt;
-        ao.error_threshold = 0.01;  // PAC tolerance
-        const AttackResult r3 = appsat_attack(prot.netlist, o3, ao);
-
-        t.row({AsciiTable::num(acc * 100, 4) + "%", outcome(r1), outcome(r2),
-               outcome(r3)});
-        std::fflush(stdout);
-    }
+    // cross_product order: defense-major, then attack.
+    for (std::size_t di = 0; di < accuracies.size(); ++di)
+        t.row({AsciiTable::num(accuracies[di] * 100, 4) + "%",
+               outcome(campaign.jobs[di * attacks.size() + 0]),
+               outcome(campaign.jobs[di * attacks.size() + 1]),
+               outcome(campaign.jobs[di * attacks.size() + 2])});
     std::puts(t.render().c_str());
+    std::printf("campaign: %zu jobs, %.1f s wall on %d thread(s)\n",
+                campaign.jobs.size(), campaign.wall_seconds, campaign.threads);
     std::puts("At accuracy 100% every attack recovers the exact key (control");
     std::puts("row); any stochasticity below that defeats all three — they end");
     std::puts("inconsistent, non-convergent, or settle on a provably wrong key,");

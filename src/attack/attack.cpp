@@ -38,6 +38,7 @@ AttackResult run_appsat(const netlist::Netlist& camo_nl, Oracle& oracle,
     AppSatOptions opts;
     opts.base = options;
     opts.sample_seed = options.seed;
+    opts.error_threshold = options.appsat_error_threshold;
     return appsat_attack(camo_nl, oracle, opts);
 }
 

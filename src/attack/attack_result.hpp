@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
 
 #include "camo/key.hpp"
@@ -31,6 +32,11 @@ struct AttackOptions {
     /// Random patterns used for the a-posteriori key check.
     std::size_t verify_patterns = 1 << 12;
     std::uint64_t verify_seed = 0xbeefcafe;
+    /// AppSAT settlement threshold (AppSatOptions::error_threshold) when the
+    /// attack is launched through the registry — the only AppSAT knob job
+    /// matrices need (Sec. V-B runs AppSAT at a PAC tolerance). Ignored by
+    /// the exact attacks.
+    double appsat_error_threshold = 0.0;
 };
 
 struct AttackResult {
@@ -55,6 +61,9 @@ struct AttackResult {
 
     bool timed_out() const { return status == Status::TimedOut; }
     static std::string status_name(Status s);
+    /// Inverse of status_name; std::nullopt for unrecognized strings (the
+    /// checkpoint journal decoder treats those as corrupt records).
+    static std::optional<Status> status_from_name(const std::string& name);
 };
 
 }  // namespace gshe::attack

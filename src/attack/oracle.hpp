@@ -60,6 +60,11 @@ public:
     /// Cost accounting for campaign reports.
     const OracleStats& stats() const { return stats_; }
 
+    /// Re-keying epochs the oracle has advanced through (camo::
+    /// RekeyingOracle); 0 for oracles without an epoch notion. Exposed on
+    /// the base class so the campaign engine can report it uniformly.
+    virtual std::uint64_t epochs_elapsed() const { return 0; }
+
 protected:
     /// Subclass hook: evaluate 64 packed patterns.
     virtual std::vector<std::uint64_t> evaluate(

@@ -18,6 +18,14 @@ std::string AttackResult::status_name(AttackResult::Status s) {
     return "?";
 }
 
+std::optional<AttackResult::Status> AttackResult::status_from_name(
+    const std::string& name) {
+    for (const Status s : {Status::Success, Status::TimedOut,
+                           Status::Inconsistent, Status::IterationCap})
+        if (status_name(s) == name) return s;
+    return std::nullopt;
+}
+
 double key_error_rate(const netlist::Netlist& camo_nl, const camo::Key& key,
                       std::size_t patterns, std::uint64_t seed) {
     const auto fns = camo::functions_for_key(camo_nl, key);

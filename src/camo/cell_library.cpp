@@ -1,6 +1,7 @@
 #include "camo/cell_library.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 namespace gshe::camo {
@@ -102,10 +103,48 @@ const std::vector<CellLibrary>& table4_libraries() {
     return libs;
 }
 
+const CellLibrary& ablation_library(int k) {
+    static const std::vector<CellLibrary> rungs = [] {
+        // Bool2::all() returns its array by value; materialize it once
+        // before taking iterators.
+        const std::array<Bool2, 16> all16 = Bool2::all();
+        const std::vector<std::pair<int, std::vector<Bool2>>> ladder = {
+            {2, {Bool2::NAND(), Bool2::NOR()}},
+            {3, {Bool2::NAND(), Bool2::NOR(), Bool2::XOR()}},
+            {4, {Bool2::NAND(), Bool2::NOR(), Bool2::XOR(), Bool2::XNOR()}},
+            {6,
+             {Bool2::NAND(), Bool2::NOR(), Bool2::XOR(), Bool2::XNOR(),
+              Bool2::AND(), Bool2::OR()}},
+            {8,
+             {Bool2::NAND(), Bool2::NOR(), Bool2::XOR(), Bool2::XNOR(),
+              Bool2::AND(), Bool2::OR(), Bool2::NOT_A(), Bool2::A()}},
+            {16, {all16.begin(), all16.end()}},
+        };
+        std::vector<CellLibrary> libs;
+        for (const auto& [n, fns] : ladder) {
+            CellLibrary lib;
+            lib.name = "ablation_k" + std::to_string(n);
+            lib.citation = "k=" + std::to_string(n);
+            lib.functions = fns;
+            lib.style = InsertionStyle::FunctionSet;
+            libs.push_back(std::move(lib));
+        }
+        return libs;
+    }();
+    for (const CellLibrary& lib : rungs)
+        if (lib.function_count() == k) return lib;
+    throw std::invalid_argument("ablation_library: unsupported k " +
+                                std::to_string(k));
+}
+
 const CellLibrary& library_by_name(const std::string& name) {
     for (const CellLibrary& lib : table4_libraries())
         if (lib.name == name) return lib;
     if (name == "stt_lut16") return stt_lut16();
+    if (name.rfind("ablation_k", 0) == 0) {
+        for (const int k : {2, 3, 4, 6, 8, 16})
+            if (name == ablation_library(k).name) return ablation_library(k);
+    }
     throw std::invalid_argument("library_by_name: unknown library " + name);
 }
 

@@ -60,7 +60,15 @@ const CellLibrary& stt_lut16();
 /// The seven Table IV columns, in the paper's column order.
 const std::vector<CellLibrary>& table4_libraries();
 
-/// Lookup by short id. Throws on unknown name.
+/// Nested cloaked-function subsets ("ablation_k2" ... "ablation_k16") for
+/// the function-count ablation: each rung adds functions to the previous
+/// one and every rung contains NAND and NOR, so one memorized NAND/NOR
+/// selection serves all rungs. Supported k: 2, 3, 4, 6, 8, 16; throws
+/// std::invalid_argument otherwise.
+const CellLibrary& ablation_library(int k);
+
+/// Lookup by short id (the Table IV names, "stt_lut16", and the
+/// "ablation_k<k>" rungs). Throws on unknown name.
 const CellLibrary& library_by_name(const std::string& name);
 
 }  // namespace gshe::camo

@@ -36,7 +36,7 @@ public:
     RekeyingOracle(const netlist::Netlist& camo_nl, std::uint64_t interval,
                    double scramble_frac, double duty_true, std::uint64_t seed);
 
-    std::uint64_t epochs_elapsed() const { return epoch_; }
+    std::uint64_t epochs_elapsed() const override { return epoch_; }
 
 protected:
     std::vector<std::uint64_t> evaluate(

@@ -118,6 +118,13 @@ void JsonWriter::value(double v) {
     out_ += buf;
 }
 
+void JsonWriter::value_full(double v) {
+    comma();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ += buf;
+}
+
 void JsonWriter::value(std::uint64_t v) {
     comma();
     out_ += Csv::num(v);

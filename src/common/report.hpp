@@ -45,6 +45,12 @@ public:
     void value(const std::string& v);
     void value(const char* v) { value(std::string(v)); }
     void value(double v);
+    /// Double rendered at full precision ("%.17g"), so parsing the token
+    /// back with strtod recovers the exact bit pattern. The checkpoint
+    /// journal uses this: cached results must re-render to the same report
+    /// bytes as live ones. value(double) keeps the compact "%.10g" used by
+    /// human-facing reports.
+    void value_full(double v);
     void value(std::uint64_t v);
     void value(std::int64_t v);
     void value(bool v);

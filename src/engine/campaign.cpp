@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
 #include "common/timer.hpp"
+#include "engine/checkpoint.hpp"
 #include "netlist/corpus.hpp"
 
 namespace gshe::engine {
@@ -71,6 +74,7 @@ JobResult CampaignRunner::run_job(const JobSpec& spec,
         options.seed = r.derived_seed;
         r.result = attack.run(*defense.netlist, *defense.oracle, options);
         r.oracle_stats = defense.oracle->stats();
+        r.oracle_epochs = defense.oracle->epochs_elapsed();
     } catch (const std::exception& e) {
         r.error = e.what();
     } catch (...) {
@@ -85,6 +89,48 @@ CampaignResult CampaignRunner::run(const std::vector<JobSpec>& jobs) const {
     CampaignResult out;
     out.jobs.resize(jobs.size());
 
+    // Per-job identity keys; computed up front so resume matching and the
+    // per-job journal appends share them.
+    std::vector<std::uint64_t> keys;
+    std::vector<char> cached(jobs.size(), 0);
+    std::unique_ptr<checkpoint::Journal> journal;
+    if (!options_.checkpoint_path.empty()) {
+        keys.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            keys.push_back(
+                checkpoint::job_key(options_.campaign_seed, i, jobs[i]));
+
+        // Resume: match journal records to the matrix by key. A record
+        // whose key matches no slot is stale (different seed, spec or
+        // position) and is dropped from the rewritten journal.
+        std::vector<std::string> kept;
+        if (options_.resume_from_checkpoint) {
+            std::unordered_map<std::uint64_t, checkpoint::Record> by_key;
+            for (auto& record :
+                 checkpoint::load_journal(options_.checkpoint_path))
+                by_key.emplace(record.key, std::move(record));
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                const auto it = by_key.find(keys[i]);
+                if (it == by_key.end()) continue;
+                // Errored jobs are never cached (errors are environmental,
+                // not a function of the spec — a preemption-induced failure
+                // must retry on resume). This runner does not journal them;
+                // the guard also covers journals from other writers.
+                if (!it->second.result.error.empty()) continue;
+                JobResult r = std::move(it->second.result);
+                r.index = i;  // slot identity comes from the live matrix
+                out.jobs[i] = std::move(r);
+                cached[i] = 1;
+                ++out.resumed;
+                kept.push_back(std::move(it->second.line));
+                by_key.erase(it);  // one record satisfies one slot
+            }
+        }
+        journal = std::make_unique<checkpoint::Journal>(
+            options_.checkpoint_path);
+        journal->reset(kept);
+    }
+
     std::size_t threads = options_.threads > 0
                               ? static_cast<std::size_t>(options_.threads)
                               : std::max(1u, std::thread::hardware_concurrency());
@@ -97,14 +143,35 @@ CampaignResult CampaignRunner::run(const std::vector<JobSpec>& jobs) const {
         while (true) {
             const std::size_t i = next.fetch_add(1);
             if (i >= jobs.size()) break;
+            if (cached[i]) continue;
             JobResult r = run_job(jobs[i], i);
-            if (options_.on_job_done) {
+            {
                 const std::lock_guard<std::mutex> lock(done_mutex);
-                // A throw escaping a worker thread would std::terminate the
-                // whole campaign; progress reporting is not worth that.
-                try {
-                    options_.on_job_done(r);
-                } catch (...) {
+                // Only clean results are journaled: a thrown job is not a
+                // pure function of its spec (out-of-memory, missing file),
+                // so resuming must retry it rather than replay the error.
+                if (journal && r.error.empty()) {
+                    // Journal before reporting so a crash inside the
+                    // progress hook never loses a finished job. A journal
+                    // failure (disk full, unlinked directory) must not
+                    // escape the worker thread — that would std::terminate
+                    // the campaign; record it and stop journaling instead.
+                    try {
+                        journal->append(
+                            checkpoint::encode_record(keys[i], jobs[i], r));
+                    } catch (const std::exception& e) {
+                        out.checkpoint_error = e.what();
+                        journal.reset();
+                    }
+                }
+                if (options_.on_job_done) {
+                    // A throw escaping a worker thread would std::terminate
+                    // the whole campaign; progress reporting is not worth
+                    // that.
+                    try {
+                        options_.on_job_done(r);
+                    } catch (...) {
+                    }
                 }
             }
             out.jobs[i] = std::move(r);

@@ -9,7 +9,10 @@
 // derive_seed(campaign_seed, index, spec.seed) — never from scheduling,
 // thread identity or wall time — and results land in a vector slot keyed by
 // index, so a campaign's per-job results (and the deterministic CSV built
-// from them) are bit-identical at --threads=1 and --threads=N. Wall-clock
+// from them) are bit-identical at --threads=1 and --threads=N — and, via
+// the checkpoint journal (engine/checkpoint.hpp), identical whether the
+// campaign ran uninterrupted or was killed and resumed any number of times.
+// Wall-clock
 // fields (JobResult::job_seconds, AttackResult::seconds, OracleStats::
 // seconds) are measured, not derived, and are excluded from deterministic
 // reports. For reproducible "t-o" cells, budget attacks with
@@ -51,6 +54,9 @@ struct JobResult {
     int key_bits = 0;
     attack::AttackResult result;
     attack::OracleStats oracle_stats;
+    /// Re-keying epochs the defense oracle cycled through (dynamic defense;
+    /// 0 for epoch-free oracles).
+    std::uint64_t oracle_epochs = 0;
     double job_seconds = 0.0;  ///< wall clock incl. netlist/defense build
     std::string error;         ///< non-empty: the job threw; result is default
 };
@@ -59,6 +65,11 @@ struct CampaignResult {
     std::vector<JobResult> jobs;  ///< matrix order, independent of threads
     int threads = 1;
     double wall_seconds = 0.0;
+    /// Jobs satisfied from the checkpoint journal instead of being re-run.
+    std::size_t resumed = 0;
+    /// Non-empty: journaling failed mid-run (e.g. disk full) and was
+    /// disabled; the campaign itself still completed.
+    std::string checkpoint_error;
 
     std::size_t succeeded() const;  ///< jobs whose attack reported Success
     std::size_t errored() const;    ///< jobs that threw
@@ -75,8 +86,19 @@ struct CampaignOptions {
     std::function<netlist::Netlist(const std::string&)> netlist_provider;
     /// Progress hook, invoked once per finished job. Serialized by the
     /// runner (never concurrently), but from worker threads and in
-    /// completion order, which is scheduling-dependent.
+    /// completion order, which is scheduling-dependent. Jobs satisfied from
+    /// the checkpoint journal do not fire it (they did when first run).
     std::function<void(const JobResult&)> on_job_done;
+    /// When non-empty, every finished job is appended to this JSONL journal
+    /// through the atomic write-then-rename protocol (engine/checkpoint.hpp)
+    /// so an interrupted campaign can restart where it stopped.
+    std::string checkpoint_path;
+    /// With checkpoint_path set: load an existing journal, skip the jobs it
+    /// already holds, and merge their cached results — the resumed
+    /// campaign's deterministic reports are byte-identical to an
+    /// uninterrupted run. When false, an existing journal is overwritten
+    /// and every job runs fresh.
+    bool resume_from_checkpoint = true;
 };
 
 class CampaignRunner {

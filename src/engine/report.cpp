@@ -134,13 +134,21 @@ std::string campaign_summary(const CampaignResult& result) {
     std::size_t timed_out = 0;
     for (const auto& j : result.jobs)
         if (j.error.empty() && j.result.timed_out()) ++timed_out;
-    char buf[160];
+    char buf[200];
     std::snprintf(buf, sizeof buf,
                   "%zu jobs on %d thread(s): %zu success, %zu t-o, %zu errors "
                   "in %.2f s",
                   result.jobs.size(), result.threads, result.succeeded(),
                   timed_out, result.errored(), result.wall_seconds);
-    return buf;
+    std::string summary = buf;
+    if (result.resumed > 0) {
+        std::snprintf(buf, sizeof buf, " (%zu resumed from checkpoint)",
+                      result.resumed);
+        summary += buf;
+    }
+    if (!result.checkpoint_error.empty())
+        summary += " [checkpoint disabled: " + result.checkpoint_error + "]";
+    return summary;
 }
 
 }  // namespace gshe::engine

@@ -11,6 +11,13 @@
 //   run_campaign --threads=8 --csv=b.csv
 //   cmp a.csv b.csv          # identical
 //
+// Long campaigns are interruptible: --checkpoint journals every finished
+// job, and --resume continues a killed run from the journal with the final
+// CSV byte-identical to an uninterrupted campaign:
+//
+//   run_campaign --checkpoint=c.jsonl --csv=out.csv     # SIGKILL mid-run...
+//   run_campaign --checkpoint=c.jsonl --resume --csv=out.csv
+//
 // Examples:
 //   run_campaign                                # default matrix, CSV to stdout
 //   run_campaign --threads=0 --json=full.json   # all cores, full JSON record
@@ -63,6 +70,8 @@ struct Cli {
     std::uint64_t campaign_seed = 0x6a0b5eed;
     std::string csv_path = "-";
     std::string json_path;
+    std::string checkpoint_path;
+    bool resume = false;
     bool timing = false;
     bool quiet = false;
 };
@@ -86,6 +95,12 @@ void usage() {
         "  --csv=PATH         CSV report destination ('-' = stdout, default)\n"
         "  --json=PATH        full JSON report (includes timing; not\n"
         "                     byte-reproducible)\n"
+        "  --checkpoint=PATH  journal each finished job to PATH (JSONL,\n"
+        "                     atomic write-then-rename) so an interrupted\n"
+        "                     campaign can be resumed\n"
+        "  --resume           load PATH, skip already-completed jobs, and\n"
+        "                     merge their cached results; the final CSV is\n"
+        "                     byte-identical to an uninterrupted run\n"
         "  --timing           add wall-clock columns to the CSV (breaks the\n"
         "                     byte-identical guarantee)\n"
         "  --quiet            suppress per-job progress on stderr\n"
@@ -126,6 +141,7 @@ bool parse(Cli& cli, int argc, char** argv, bool& exit_ok) {
         }
         if (arg == "--timing") { cli.timing = true; continue; }
         if (arg == "--quiet") { cli.quiet = true; continue; }
+        if (arg == "--resume") { cli.resume = true; continue; }
         if (arg.find('=') == std::string::npos) return false;
         if (starts("--threads=")) cli.threads = std::atoi(val().c_str());
         else if (starts("--circuits=")) cli.circuits = split(val(), ',');
@@ -141,6 +157,7 @@ bool parse(Cli& cli, int argc, char** argv, bool& exit_ok) {
         else if (starts("--campaign-seed=")) cli.campaign_seed = std::strtoull(val().c_str(), nullptr, 10);
         else if (starts("--csv=")) cli.csv_path = val();
         else if (starts("--json=")) cli.json_path = val();
+        else if (starts("--checkpoint=")) cli.checkpoint_path = val();
         else return false;
     }
     return true;
@@ -156,6 +173,10 @@ int main(int argc, char** argv) {
         return 2;
     }
     if (exit_ok) return 0;
+    if (cli.resume && cli.checkpoint_path.empty()) {
+        std::fprintf(stderr, "--resume requires --checkpoint=PATH\n");
+        return 2;
+    }
 
     // Build the job matrix.
     std::vector<DefenseConfig> defenses;
@@ -186,6 +207,8 @@ int main(int argc, char** argv) {
     CampaignOptions options;
     options.threads = cli.threads;
     options.campaign_seed = cli.campaign_seed;
+    options.checkpoint_path = cli.checkpoint_path;
+    options.resume_from_checkpoint = cli.resume;
     if (!cli.quiet)
         options.on_job_done = [&](const JobResult& j) {
             std::fprintf(stderr, "[%3zu/%zu] %-8s %-28s %-10s seed=%llu  %s\n",

@@ -1,42 +1,63 @@
-// A2 — Ablation: which CDCL solver features carry the attack. Runs the
-// identical camouflaged-circuit attack with individual solver features
-// disabled. Expected: clause learning is load-bearing (without it the
-// attack times out); VSIDS and restarts give large constant factors.
+// A2 — Ablation: which CDCL solver features carry the attack, and how the
+// in-tree solver compares against an external backend. Runs the identical
+// camouflaged-circuit attack with individual solver features disabled, plus
+// one baseline job per additional registered SAT backend that is available
+// (backend "dimacs" joins when GSHE_DIMACS_SOLVER names a solver binary).
+// Expected: clause learning is load-bearing (without it the attack times
+// out); VSIDS and restarts give large constant factors.
 //
 // The configurations become one CampaignRunner job matrix: JobSpec carries
 // per-job AttackOptions, so each job pins its own solver feature toggles
-// while circuit, defense and selection stay fixed.
+// and backend while circuit, defense and selection stay fixed. Per-job
+// wall-seconds by backend land in BENCH_solver.json (the perf-trajectory
+// seed; see bench::write_solver_bench_json).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/ascii_table.hpp"
 #include "engine/campaign.hpp"
 #include "netlist/corpus.hpp"
+#include "sat/backend.hpp"
 
 using namespace gshe;
 using namespace gshe::attack;
 using namespace gshe::engine;
 
 int main() {
-    bench::banner("ABLATION", "CDCL solver features under the SAT attack");
+    bench::banner("ABLATION", "CDCL solver features and SAT backends under the SAT attack");
     const double timeout = std::max(bench::attack_timeout_s(), 5.0);
 
     struct Config {
-        const char* name;
+        std::string name;
+        std::string backend;
         sat::Solver::Options opts;
     };
-    const std::vector<Config> configs = {
-        {"full CDCL (baseline)", {}},
-        {"no VSIDS (index order)", {.use_vsids = false}},
-        {"no restarts", {.use_restarts = false}},
-        {"no phase saving", {.use_phase_saving = false}},
-        {"no clause learning (DPLL)", {.use_learning = false}},
+    std::vector<Config> configs = {
+        {"full CDCL (baseline)", "internal", {}},
+        {"no VSIDS (index order)", "internal", {.use_vsids = false}},
+        {"no restarts", "internal", {.use_restarts = false}},
+        {"no phase saving", "internal", {.use_phase_saving = false}},
+        {"no clause learning (DPLL)", "internal", {.use_learning = false}},
     };
+    // Backend comparison rows: default heuristics on every other available
+    // backend (feature toggles are internal-only knobs).
+    for (const std::string& name : sat::backend_names()) {
+        if (name == "internal") continue;
+        if (!sat::backend_by_name(name).available()) {
+            std::printf("note: backend '%s' unavailable, skipping (%s)\n",
+                        name.c_str(),
+                        sat::backend_by_name(name).label().c_str());
+            continue;
+        }
+        configs.push_back({"external solver (" + name + ")", name, {}});
+    }
 
     // 5% protection: solvable by a competent CDCL within seconds, so the
     // feature gaps (and the DPLL collapse) are visible rather than all-t-o.
     std::vector<JobSpec> jobs;
+    std::vector<std::string> labels;
     for (const Config& c : configs) {
         JobSpec spec;
         spec.circuit = "c7552";
@@ -47,6 +68,8 @@ int main() {
         spec.attack = "sat";
         spec.attack_options.timeout_seconds = timeout;
         spec.attack_options.solver = c.opts;
+        spec.attack_options.solver_backend = c.backend;
+        labels.push_back(c.name);
         jobs.push_back(std::move(spec));
     }
 
@@ -58,12 +81,12 @@ int main() {
                 campaign.jobs.front().protected_cells, timeout);
 
     AsciiTable t("Attack cost by solver configuration");
-    t.header({"configuration", "status", "time", "DIPs", "conflicts",
-              "propagations"});
+    t.header({"configuration", "backend", "status", "time", "DIPs",
+              "conflicts", "propagations"});
     for (std::size_t i = 0; i < configs.size(); ++i) {
         const JobResult& j = campaign.jobs[i];
         const AttackResult& res = j.result;
-        t.row({configs[i].name, bench::status_cell(j),
+        t.row({configs[i].name, j.solver_backend, bench::status_cell(j),
                AsciiTable::runtime(res.seconds, res.timed_out()),
                std::to_string(res.iterations),
                std::to_string(res.solver_stats.conflicts),
@@ -72,5 +95,6 @@ int main() {
     std::puts(t.render().c_str());
     std::printf("campaign: %zu jobs, %.1f s wall on %d thread(s)\n",
                 campaign.jobs.size(), campaign.wall_seconds, campaign.threads);
+    bench::write_solver_bench_json("BENCH_solver.json", campaign, labels);
     return 0;
 }

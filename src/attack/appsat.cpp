@@ -21,7 +21,9 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
         return res;
     }
 
-    sat::Solver solver(base.solver);
+    const std::unique_ptr<sat::SolverBackend> solver_ptr =
+        detail::make_attack_solver(base);
+    sat::SolverBackend& solver = *solver_ptr;
     const auto enc1 = sat::encode_circuit(solver, camo_nl);
     const auto enc2 = sat::encode_circuit(solver, camo_nl, enc1.pis);
     sat::add_difference(solver, enc1.outs, enc2.outs);
@@ -48,15 +50,14 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
         detail::set_remaining_budget(solver, base, timer);
 
         const auto r = solver.solve();
-        if (r == sat::Solver::Result::Unknown) {
+        if (r == sat::SolveResult::Unknown) {
             res.status = AttackResult::Status::TimedOut;
             break;
         }
-        if (r == sat::Solver::Result::Unsat) {
+        if (r == sat::SolveResult::Unsat) {
             bool timed_out = false;
             const auto key = detail::extract_consistent_key(
-                camo_nl, history, base.timeout_seconds - timer.seconds(),
-                base.max_conflicts, base.solver, &timed_out);
+                camo_nl, history, base, timer, &timed_out);
             if (key) {
                 res.status = AttackResult::Status::Success;
                 res.key = *key;
@@ -76,8 +77,7 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
         if (res.iterations % options.settle_every != 0) continue;
         bool timed_out = false;
         const auto candidate = detail::extract_consistent_key(
-            camo_nl, history, base.timeout_seconds - timer.seconds(),
-            base.max_conflicts, base.solver, &timed_out);
+            camo_nl, history, base, timer, &timed_out);
         if (!candidate) {
             if (timed_out) {
                 res.status = AttackResult::Status::TimedOut;

@@ -25,6 +25,12 @@ struct AttackOptions {
     /// Hard cap on DIP iterations (safety net; effectively unbounded).
     std::size_t max_iterations = 1u << 20;
     sat::Solver::Options solver;
+    /// SAT backend registry key (sat/backend.hpp): "internal" (in-tree
+    /// CDCL, deterministic — the default) or "dimacs" (external solver
+    /// subprocess). Unknown names make the attack throw with the list of
+    /// registered backends. Only "internal" honours the max_conflicts
+    /// determinism contract.
+    std::string solver_backend = "internal";
     /// Seed for attack-internal randomness (AppSAT's reinforcement
     /// sampling); the campaign engine overrides it with the derived
     /// per-job seed so seed-replicated jobs are independent.

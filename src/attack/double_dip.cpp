@@ -24,7 +24,9 @@ AttackResult double_dip_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
 
     // Phase 1: 2-DIP miter. Four circuit copies share the inputs; pairs
     // (k1,k2) and (k3,k4) each disagree; all cross pairs are distinct keys.
-    sat::Solver solver(options.solver);
+    const std::unique_ptr<sat::SolverBackend> solver_ptr =
+        detail::make_attack_solver(options);
+    sat::SolverBackend& solver = *solver_ptr;
     const auto enc1 = sat::encode_circuit(solver, camo_nl);
     const auto enc2 = sat::encode_circuit(solver, camo_nl, enc1.pis);
     const auto enc3 = sat::encode_circuit(solver, camo_nl, enc1.pis);
@@ -55,13 +57,13 @@ AttackResult double_dip_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
         detail::set_remaining_budget(solver, options, timer);
 
         const auto r = solver.solve();
-        if (r == sat::Solver::Result::Unknown) {
+        if (r == sat::SolveResult::Unknown) {
             res.status = AttackResult::Status::TimedOut;
             res.solver_stats = solver.stats();
             detail::finalize_result(res, camo_nl, oracle, options, timer);
             return res;
         }
-        if (r == sat::Solver::Result::Unsat) break;  // no 2-DIP remains
+        if (r == sat::SolveResult::Unsat) break;  // no 2-DIP remains
 
         ++res.iterations;
         std::vector<bool> dip = detail::model_values(solver, enc1.pis);

@@ -1,5 +1,6 @@
 #include "attack/equivalence.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 #include "attack/miter_detail.hpp"
@@ -8,26 +9,26 @@
 namespace gshe::attack {
 namespace {
 
-EquivResult run_miter(sat::Solver& solver,
+EquivResult run_miter(sat::SolverBackend& solver,
                       const std::vector<sat::Var>& pis,
                       const std::vector<sat::Var>& outs_a,
                       const std::vector<sat::Var>& outs_b,
                       double timeout_seconds) {
     sat::add_difference(solver, outs_a, outs_b);
-    sat::Solver::Budget budget;
+    sat::SolverBudget budget;
     budget.max_seconds = timeout_seconds;
     solver.set_budget(budget);
 
     EquivResult res;
     switch (solver.solve()) {
-        case sat::Solver::Result::Unsat:
+        case sat::SolveResult::Unsat:
             res.status = EquivStatus::Equivalent;
             break;
-        case sat::Solver::Result::Sat:
+        case sat::SolveResult::Sat:
             res.status = EquivStatus::Different;
             res.counterexample = detail::model_values(solver, pis);
             break;
-        case sat::Solver::Result::Unknown:
+        case sat::SolveResult::Unknown:
             res.status = EquivStatus::Unknown;
             break;
     }
@@ -39,7 +40,8 @@ EquivResult run_miter(sat::Solver& solver,
 EquivResult check_equivalence(const netlist::Netlist& a,
                               const netlist::Netlist& b,
                               double timeout_seconds,
-                              const sat::Solver::Options& opts) {
+                              const sat::SolverOptions& opts,
+                              const std::string& solver_backend) {
     if (a.inputs().size() != b.inputs().size() ||
         a.outputs().size() != b.outputs().size())
         throw std::invalid_argument("check_equivalence: interface mismatch");
@@ -48,31 +50,36 @@ EquivResult check_equivalence(const netlist::Netlist& a,
             "check_equivalence: camouflaged netlists need a key "
             "(use check_key_equivalence)");
 
-    sat::Solver solver(opts);
-    const auto enc_a = sat::encode_circuit(solver, a);
-    const auto enc_b = sat::encode_circuit(solver, b, enc_a.pis);
-    return run_miter(solver, enc_a.pis, enc_a.outs, enc_b.outs, timeout_seconds);
+    const std::unique_ptr<sat::SolverBackend> solver =
+        sat::make_backend(solver_backend, opts);
+    const auto enc_a = sat::encode_circuit(*solver, a);
+    const auto enc_b = sat::encode_circuit(*solver, b, enc_a.pis);
+    return run_miter(*solver, enc_a.pis, enc_a.outs, enc_b.outs,
+                     timeout_seconds);
 }
 
 EquivResult check_key_equivalence(const netlist::Netlist& camo_nl,
                                   const camo::Key& key,
                                   double timeout_seconds,
-                                  const sat::Solver::Options& opts) {
+                                  const sat::SolverOptions& opts,
+                                  const std::string& solver_backend) {
     if (key.bits.size() != static_cast<std::size_t>(camo_nl.key_bit_count()))
         throw std::invalid_argument("check_key_equivalence: key size mismatch");
 
-    sat::Solver solver(opts);
+    const std::unique_ptr<sat::SolverBackend> solver =
+        sat::make_backend(solver_backend, opts);
     // Copy A: key variables pinned to the candidate key.
-    const auto enc_a = sat::encode_circuit(solver, camo_nl);
+    const auto enc_a = sat::encode_circuit(*solver, camo_nl);
     for (std::size_t i = 0; i < enc_a.keys.size(); ++i)
-        sat::fix_var(solver, enc_a.keys[i], key.bits[i]);
+        sat::fix_var(*solver, enc_a.keys[i], key.bits[i]);
     // Copy B: key variables pinned to the true key (ground truth).
     const camo::Key truth = camo::true_key(camo_nl);
-    const auto enc_b = sat::encode_circuit(solver, camo_nl, enc_a.pis);
+    const auto enc_b = sat::encode_circuit(*solver, camo_nl, enc_a.pis);
     for (std::size_t i = 0; i < enc_b.keys.size(); ++i)
-        sat::fix_var(solver, enc_b.keys[i], truth.bits[i]);
+        sat::fix_var(*solver, enc_b.keys[i], truth.bits[i]);
 
-    return run_miter(solver, enc_a.pis, enc_a.outs, enc_b.outs, timeout_seconds);
+    return run_miter(*solver, enc_a.pis, enc_a.outs, enc_b.outs,
+                     timeout_seconds);
 }
 
 }  // namespace gshe::attack

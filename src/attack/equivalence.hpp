@@ -4,11 +4,12 @@
 // and as the ground truth behind the protection passes' correctness tests.
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "camo/key.hpp"
 #include "netlist/netlist.hpp"
-#include "sat/solver.hpp"
+#include "sat/backend.hpp"
 
 namespace gshe::attack {
 
@@ -21,16 +22,20 @@ struct EquivResult {
 };
 
 /// Checks whether two plain combinational netlists (same input/output
-/// counts, matched by position) are functionally equivalent.
+/// counts, matched by position) are functionally equivalent. The miter is
+/// solved on the SAT backend named by `solver_backend` (sat/backend.hpp).
 EquivResult check_equivalence(const netlist::Netlist& a,
                               const netlist::Netlist& b,
                               double timeout_seconds = 60.0,
-                              const sat::Solver::Options& opts = {});
+                              const sat::SolverOptions& opts = {},
+                              const std::string& solver_backend = "internal");
 
 /// Checks whether `camo_nl` under `key` equals its own true functionality.
 EquivResult check_key_equivalence(const netlist::Netlist& camo_nl,
                                   const camo::Key& key,
                                   double timeout_seconds = 60.0,
-                                  const sat::Solver::Options& opts = {});
+                                  const sat::SolverOptions& opts = {},
+                                  const std::string& solver_backend =
+                                      "internal");
 
 }  // namespace gshe::attack

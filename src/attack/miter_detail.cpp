@@ -4,7 +4,18 @@
 
 namespace gshe::attack::detail {
 
-std::vector<bool> model_values(const sat::Solver& solver,
+std::unique_ptr<sat::SolverBackend> make_attack_solver(
+    const AttackOptions& options) {
+    return sat::make_backend(options.solver_backend, options.solver);
+}
+
+void set_remaining_budget(sat::SolverBackend& solver,
+                          const AttackOptions& options, const Timer& timer) {
+    solver.set_budget(options.timeout_seconds - timer.seconds(),
+                      options.max_conflicts);
+}
+
+std::vector<bool> model_values(const sat::SolverBackend& solver,
                                const std::vector<sat::Var>& vars) {
     std::vector<bool> out(vars.size());
     for (std::size_t i = 0; i < vars.size(); ++i)
@@ -12,7 +23,7 @@ std::vector<bool> model_values(const sat::Solver& solver,
     return out;
 }
 
-void add_agreement(sat::Solver& solver, const netlist::Netlist& nl,
+void add_agreement(sat::SolverBackend& solver, const netlist::Netlist& nl,
                    const std::vector<sat::Var>& keys,
                    const std::vector<bool>& x, const std::vector<bool>& y) {
     std::vector<sat::Var> xvars;
@@ -27,39 +38,31 @@ void add_agreement(sat::Solver& solver, const netlist::Netlist& nl,
         sat::fix_var(solver, enc.outs[o], y[o]);
 }
 
-void set_remaining_budget(sat::Solver& solver, const AttackOptions& options,
-                          const Timer& timer) {
-    sat::Solver::Budget budget;
-    budget.max_seconds = options.timeout_seconds - timer.seconds();
-    budget.max_conflicts = options.max_conflicts;
-    solver.set_budget(budget);
-}
-
-std::optional<camo::Key> extract_consistent_key(
-    const netlist::Netlist& nl, const History& history, double timeout_seconds,
-    std::uint64_t max_conflicts, const sat::Solver::Options& opts,
-    bool* timed_out) {
+std::optional<camo::Key> extract_consistent_key(const netlist::Netlist& nl,
+                                                const History& history,
+                                                const AttackOptions& options,
+                                                const Timer& timer,
+                                                bool* timed_out) {
     if (timed_out != nullptr) *timed_out = false;
-    sat::Solver solver(opts);
+    const std::unique_ptr<sat::SolverBackend> solver =
+        make_attack_solver(options);
     // One free copy creates the key variables together with their
     // valid-code constraints.
-    const sat::CircuitEncoding enc = sat::encode_circuit(solver, nl);
+    const sat::CircuitEncoding enc = sat::encode_circuit(*solver, nl);
     for (std::size_t i = 0; i < history.size(); ++i)
-        add_agreement(solver, nl, enc.keys, history.inputs[i], history.outputs[i]);
+        add_agreement(*solver, nl, enc.keys, history.inputs[i],
+                      history.outputs[i]);
 
-    sat::Solver::Budget budget;
-    budget.max_seconds = timeout_seconds;
-    budget.max_conflicts = max_conflicts;
-    solver.set_budget(budget);
-    switch (solver.solve()) {
-        case sat::Solver::Result::Sat: {
+    set_remaining_budget(*solver, options, timer);
+    switch (solver->solve()) {
+        case sat::SolveResult::Sat: {
             camo::Key key;
-            key.bits = model_values(solver, enc.keys);
+            key.bits = model_values(*solver, enc.keys);
             return key;
         }
-        case sat::Solver::Result::Unsat:
+        case sat::SolveResult::Unsat:
             return std::nullopt;
-        case sat::Solver::Result::Unknown:
+        case sat::SolveResult::Unknown:
             if (timed_out != nullptr) *timed_out = true;
             return std::nullopt;
     }
@@ -73,7 +76,9 @@ AttackResult run_single_dip_loop(const netlist::Netlist& camo_nl,
     AttackResult res;
     res.iterations = prior_iterations;
 
-    sat::Solver solver(options.solver);
+    const std::unique_ptr<sat::SolverBackend> solver_ptr =
+        make_attack_solver(options);
+    sat::SolverBackend& solver = *solver_ptr;
     const auto enc1 = sat::encode_circuit(solver, camo_nl);
     const auto enc2 = sat::encode_circuit(solver, camo_nl, enc1.pis);
     sat::add_difference(solver, enc1.outs, enc2.outs);
@@ -96,16 +101,16 @@ AttackResult run_single_dip_loop(const netlist::Netlist& camo_nl,
         set_remaining_budget(solver, options, timer);
 
         const auto r = solver.solve();
-        if (r == sat::Solver::Result::Unknown) {
+        if (r == sat::SolveResult::Unknown) {
             res.status = AttackResult::Status::TimedOut;
             break;
         }
-        if (r == sat::Solver::Result::Unsat) {
+        if (r == sat::SolveResult::Unsat) {
             // No distinguishing input remains: extract any consistent key.
             bool timed_out = false;
-            const auto key = extract_consistent_key(
-                camo_nl, history, options.timeout_seconds - timer.seconds(),
-                options.max_conflicts, options.solver, &timed_out);
+            const auto key =
+                extract_consistent_key(camo_nl, history, options, timer,
+                                       &timed_out);
             if (key) {
                 res.status = AttackResult::Status::Success;
                 res.key = *key;

@@ -6,8 +6,12 @@
 // Double DIP falls back to it (seeded with its phase-1 observations) once no
 // 2-DIP remains. Both budget dimensions — wall clock and the deterministic
 // cumulative-conflict cap of AttackOptions::max_conflicts — are applied on
-// every solve.
+// every solve through the one shared budget helper, and every solver is
+// constructed through the sat::SolverBackend registry so attacks run
+// unchanged on the in-tree CDCL ("internal") or an external DIMACS solver
+// ("dimacs").
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -16,7 +20,7 @@
 #include "camo/key.hpp"
 #include "common/timer.hpp"
 #include "netlist/netlist.hpp"
-#include "sat/solver.hpp"
+#include "sat/backend.hpp"
 #include "sat/tseitin.hpp"
 
 namespace gshe::attack::detail {
@@ -33,29 +37,40 @@ struct History {
     }
 };
 
-/// Reads the model values of `vars` from a SAT solver.
-std::vector<bool> model_values(const sat::Solver& solver,
+/// Constructs the solver an attack will run on: the backend named by
+/// AttackOptions::solver_backend, configured with its solver options.
+/// Throws std::invalid_argument (listing the registered backends) for
+/// unknown names.
+std::unique_ptr<sat::SolverBackend> make_attack_solver(
+    const AttackOptions& options);
+
+/// The per-solve budget every attack applies: the wall-clock remainder of
+/// the attack's timeout plus the deterministic conflict cap. This is the
+/// single point where AttackOptions turns into a sat::SolverBudget — the
+/// attacks contain no ad-hoc budget math.
+void set_remaining_budget(sat::SolverBackend& solver,
+                          const AttackOptions& options, const Timer& timer);
+
+/// Reads the model values of `vars` from a SAT backend.
+std::vector<bool> model_values(const sat::SolverBackend& solver,
                                const std::vector<sat::Var>& vars);
 
 /// Adds a circuit copy with primary inputs fixed to `x`, key variables
 /// shared with `keys`, and outputs constrained to `y` — the agreement
 /// constraint "key must reproduce the oracle response on x".
-void add_agreement(sat::Solver& solver, const netlist::Netlist& nl,
+void add_agreement(sat::SolverBackend& solver, const netlist::Netlist& nl,
                    const std::vector<sat::Var>& keys,
                    const std::vector<bool>& x, const std::vector<bool>& y);
 
-/// Applies the per-solve budget: the wall-clock remainder of the attack's
-/// timeout plus the deterministic conflict cap.
-void set_remaining_budget(sat::Solver& solver, const AttackOptions& options,
-                          const Timer& timer);
-
-/// Solves for any key consistent with the full history.
+/// Solves (on a fresh backend from `options`) for any key consistent with
+/// the full history, under the remaining budget of `timer`.
 /// Returns the key, std::nullopt on inconsistency; sets *timed_out when the
 /// budget (wall clock or `max_conflicts`) ran out before an answer.
-std::optional<camo::Key> extract_consistent_key(
-    const netlist::Netlist& nl, const History& history, double timeout_seconds,
-    std::uint64_t max_conflicts, const sat::Solver::Options& opts,
-    bool* timed_out);
+std::optional<camo::Key> extract_consistent_key(const netlist::Netlist& nl,
+                                                const History& history,
+                                                const AttackOptions& options,
+                                                const Timer& timer,
+                                                bool* timed_out);
 
 /// Runs the classic single-DIP refinement loop to completion: build the
 /// two-copy miter, replay `history` as agreement constraints, then iterate

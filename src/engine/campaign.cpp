@@ -61,6 +61,7 @@ JobResult CampaignRunner::run_job(const JobSpec& spec,
     r.circuit = spec.circuit;
     r.defense = spec.defense.label();
     r.attack = spec.attack;
+    r.solver_backend = spec.attack_options.solver_backend;
     r.spec_seed = spec.seed;
     r.derived_seed = derive_seed(options_.campaign_seed, index, spec.seed);
     try {

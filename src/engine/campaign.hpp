@@ -48,6 +48,10 @@ struct JobResult {
     std::string circuit;
     std::string defense;     ///< DefenseConfig::label()
     std::string attack;
+    /// SAT backend the attack ran on (AttackOptions::solver_backend) —
+    /// reported alongside the attack name so backend comparisons need no
+    /// extra instrumentation.
+    std::string solver_backend = "internal";
     std::uint64_t spec_seed = 0;
     std::uint64_t derived_seed = 0;
     std::size_t protected_cells = 0;

@@ -80,6 +80,8 @@ void write_spec(JsonWriter& w, const JobSpec& spec) {
     w.value(spec.attack_options.verify_seed);
     w.key("appsat_error_threshold");
     w.value_full(spec.attack_options.appsat_error_threshold);
+    w.key("solver_backend");
+    w.value(spec.attack_options.solver_backend);
     w.key("solver");
     write_solver_options(w, spec.attack_options.solver);
     w.end_object();
@@ -103,6 +105,8 @@ void write_result(JsonWriter& w, const JobResult& r) {
     w.value(r.defense);
     w.key("attack");
     w.value(r.attack);
+    w.key("solver_backend");
+    w.value(r.solver_backend);
     w.key("spec_seed");
     w.value(r.spec_seed);
     w.key("derived_seed");
@@ -236,6 +240,8 @@ std::optional<JobSpec> spec_from_value(const json::Value& v) {
         opt.verify_seed = u64_field(*o, "verify_seed", opt.verify_seed);
         opt.appsat_error_threshold = double_field(
             *o, "appsat_error_threshold", opt.appsat_error_threshold);
+        opt.solver_backend =
+            string_field(*o, "solver_backend", opt.solver_backend);
         if (const json::Value* s = o->find("solver"); s && s->is_object()) {
             opt.solver.use_vsids =
                 bool_field(*s, "use_vsids", opt.solver.use_vsids);
@@ -261,6 +267,7 @@ std::optional<JobResult> result_from_value(const json::Value& v) {
     r.circuit = string_field(v, "circuit");
     r.defense = string_field(v, "defense");
     r.attack = string_field(v, "attack");
+    r.solver_backend = string_field(v, "solver_backend", r.solver_backend);
     r.spec_seed = u64_field(v, "spec_seed");
     r.derived_seed = u64_field(v, "derived_seed");
     r.protected_cells = static_cast<std::size_t>(

@@ -9,10 +9,10 @@ namespace gshe::engine {
 std::string campaign_csv(const CampaignResult& result, bool include_timing) {
     std::vector<std::string> header = {
         "job",           "circuit",        "defense",      "attack",
-        "seed",          "status",         "iterations",   "oracle_patterns",
-        "oracle_calls",  "protected_cells", "key_bits",    "key_error_rate",
-        "key_exact",     "conflicts",      "decisions",    "propagations",
-        "error"};
+        "solver",        "seed",           "status",       "iterations",
+        "oracle_patterns", "oracle_calls", "protected_cells", "key_bits",
+        "key_error_rate", "key_exact",     "conflicts",    "decisions",
+        "propagations",  "restarts",       "error"};
     if (include_timing) {
         header.push_back("attack_seconds");
         header.push_back("oracle_seconds");
@@ -27,6 +27,7 @@ std::string campaign_csv(const CampaignResult& result, bool include_timing) {
             j.circuit,
             j.defense,
             j.attack,
+            j.solver_backend,
             Csv::num(j.spec_seed),
             j.error.empty() ? attack::AttackResult::status_name(r.status)
                             : "error",
@@ -40,6 +41,7 @@ std::string campaign_csv(const CampaignResult& result, bool include_timing) {
             Csv::num(r.solver_stats.conflicts),
             Csv::num(r.solver_stats.decisions),
             Csv::num(r.solver_stats.propagations),
+            Csv::num(r.solver_stats.restarts),
             j.error};
         if (include_timing) {
             row.push_back(Csv::num(r.seconds));
@@ -71,6 +73,8 @@ std::string campaign_json(const CampaignResult& result) {
         w.value(j.defense);
         w.key("attack");
         w.value(j.attack);
+        w.key("solver_backend");
+        w.value(j.solver_backend);
         w.key("seed");
         w.value(j.spec_seed);
         w.key("derived_seed");

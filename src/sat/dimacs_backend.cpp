@@ -1,0 +1,176 @@
+#include "sat/dimacs_backend.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+
+namespace gshe::sat {
+
+namespace {
+
+/// Creates a unique temp file via mkstemp and returns its path (the
+/// descriptor is closed; the exporter reopens by name).
+std::string make_temp_cnf_path() {
+    std::string templ = "/tmp/gshe_dimacs_XXXXXX";
+    const char* tmpdir = std::getenv("TMPDIR");
+    if (tmpdir != nullptr && *tmpdir != '\0')
+        templ = std::string(tmpdir) + "/gshe_dimacs_XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    const int fd = ::mkstemp(buf.data());
+    if (fd < 0)
+        throw std::runtime_error("dimacs backend: mkstemp failed for " + templ);
+    ::close(fd);
+    return std::string(buf.data());
+}
+
+/// Runs `command` through the shell, capturing stdout. Returns the shell's
+/// exit code (-1 when popen itself failed or the child died on a signal).
+/// Solvers signal SAT/UNSAT via output, not exit codes, but the shell's
+/// 126/127 codes are the only way to tell "no such binary" apart from a
+/// solver that timed out — the caller must not fold them into Unknown.
+int run_and_capture(const std::string& command, std::string& stdout_text) {
+    std::FILE* pipe = ::popen(command.c_str(), "r");
+    if (pipe == nullptr) return -1;
+    char chunk[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof chunk, pipe)) > 0)
+        stdout_text.append(chunk, n);
+    const int wstatus = ::pclose(pipe);
+    if (wstatus < 0 || !WIFEXITED(wstatus)) return -1;
+    return WEXITSTATUS(wstatus);
+}
+
+std::string shell_quote(const std::string& s) {
+    std::string quoted = "'";
+    for (const char c : s) {
+        if (c == '\'')
+            quoted += "'\\''";
+        else
+            quoted += c;
+    }
+    quoted += "'";
+    return quoted;
+}
+
+}  // namespace
+
+DimacsBackend::DimacsBackend(std::string command, SolverOptions opts)
+    : command_(std::move(command)), opts_(opts) {
+    if (command_.empty())
+        throw std::invalid_argument("dimacs backend: empty solver command");
+}
+
+const std::string& DimacsBackend::backend_name() const {
+    static const std::string name = "dimacs";
+    return name;
+}
+
+Var DimacsBackend::new_var() { return cnf_.num_vars++; }
+
+bool DimacsBackend::add_clause(Clause c) {
+    if (c.empty()) ok_ = false;
+    for (const Lit l : c)
+        if (l.var() >= cnf_.num_vars) cnf_.num_vars = l.var() + 1;
+    cnf_.clauses.push_back(std::move(c));
+    return ok_;
+}
+
+LBool DimacsBackend::model_value(Var v) const {
+    const auto i = static_cast<std::size_t>(v);
+    return i < model_.size() ? model_[i] : LBool::Undef;
+}
+
+SolveResult DimacsBackend::solve(const std::vector<Lit>& assumptions) {
+    model_.clear();
+    if (!ok_) return SolveResult::Unsat;
+    if (budget_.max_seconds <= 0.0) return SolveResult::Unknown;
+
+    // Re-encode the full problem; assumptions become unit clauses of this
+    // solve only (the non-incremental protocol). Streamed straight to the
+    // file — no CNF copy, no intermediate string — since this runs once
+    // per DIP-loop solve on formulas that can reach tens of MB.
+    Timer encode_timer;
+    const std::string path = make_temp_cnf_path();
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f << "p cnf " << cnf_.num_vars << ' '
+          << cnf_.clauses.size() + assumptions.size() << '\n';
+        for (const Clause& c : cnf_.clauses) {
+            for (const Lit l : c)
+                f << (l.negated() ? -(l.var() + 1) : l.var() + 1) << ' ';
+            f << "0\n";
+        }
+        for (const Lit a : assumptions)
+            f << (a.negated() ? -(a.var() + 1) : a.var() + 1) << " 0\n";
+        f.flush();
+        if (!f.good()) {
+            std::remove(path.c_str());
+            throw std::runtime_error("dimacs backend: cannot write " + path);
+        }
+        const auto bytes = f.tellp();
+        if (bytes > 0) sub_.encoded_bytes += static_cast<std::uint64_t>(bytes);
+    }
+    sub_.encoded_clauses += cnf_.clauses.size() + assumptions.size();
+    sub_.encode_seconds += encode_timer.seconds();
+
+    // Wall-clock budget rides on coreutils `timeout`; a killed solver emits
+    // no status line and lands in the Unknown path.
+    std::string command;
+    const bool used_timeout = std::isfinite(budget_.max_seconds);
+    if (used_timeout) {
+        const long secs =
+            std::max(1L, static_cast<long>(std::ceil(budget_.max_seconds)));
+        command = "timeout " + std::to_string(secs) + " ";
+    }
+    command += command_ + " " + shell_quote(path) + " 2>/dev/null";
+
+    Timer solve_timer;
+    std::string output;
+    const int exit_code = run_and_capture(command, output);
+    sub_.solve_seconds += solve_timer.seconds();
+    ++sub_.solves;
+    std::remove(path.c_str());
+    // 127/126 are the shell's "not found"/"not executable" — a
+    // misconfigured GSHE_DIMACS_SOLVER must fail loudly, not masquerade as
+    // a campaign full of timeout cells. Any other non-zero exit (including
+    // `timeout`'s 124) is judged by the output below.
+    if (exit_code == 127 || exit_code == 126)
+        throw std::runtime_error(
+            "dimacs backend: solver command failed to launch (shell exit " +
+            std::to_string(exit_code) + "): " + command_ +
+            (used_timeout
+                 ? " (or the coreutils `timeout` utility is not on PATH)"
+                 : ""));
+
+    const SolverOutput parsed = parse_solver_output_string(output);
+    stats_.conflicts += parsed.stats.conflicts;
+    stats_.decisions += parsed.stats.decisions;
+    stats_.propagations += parsed.stats.propagations;
+    stats_.restarts += parsed.stats.restarts;
+
+    if (parsed.status == SolveResult::Sat) {
+        // A Sat claim is only usable with its full model: a solver killed
+        // mid-"v"-record (or one that never prints models, like bare
+        // MiniSat writing to an output file) would otherwise read as an
+        // all-false assignment and corrupt the DIP loop. Treat it as a
+        // budget-style Unknown instead.
+        if (!parsed.model_complete) return SolveResult::Unknown;
+        model_ = parsed.model;
+        if (model_.size() < static_cast<std::size_t>(cnf_.num_vars))
+            model_.resize(static_cast<std::size_t>(cnf_.num_vars),
+                          LBool::Undef);
+        return SolveResult::Sat;
+    }
+    return parsed.status;
+}
+
+}  // namespace gshe::sat

@@ -1,0 +1,76 @@
+#pragma once
+// Backend "dimacs": a subprocess adapter that runs any MiniSat/
+// CryptoMiniSat-compatible solver binary over DIMACS files.
+//
+// Non-incremental by construction: every solve() re-exports the full CNF
+// (plus the assumptions as unit clauses) to a fresh temp file, launches the
+// configured command on it, and parses the SAT-competition style output
+// ("s SATISFIABLE" + "v" model records). The re-encoding cost is recorded
+// in subprocess_stats() so backend comparisons see what the missing
+// incrementality costs.
+//
+// Budget semantics: only the wall clock is enforced (via coreutils
+// `timeout` when SolverBudget::max_seconds is finite); conflict caps cannot
+// be imposed on an arbitrary external binary, so the campaign engine's
+// byte-identical determinism contract applies to backend "internal" only.
+//
+// The registry (sat/backend.hpp) constructs this backend from the
+// GSHE_DIMACS_SOLVER environment variable and reports it unavailable when
+// the variable is unset — tests and CI auto-skip it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sat/backend.hpp"
+#include "sat/dimacs.hpp"
+
+namespace gshe::sat {
+
+class DimacsBackend final : public SolverBackend {
+public:
+    /// Cost of the non-incremental protocol, cumulative over solve() calls.
+    struct SubprocessStats {
+        std::uint64_t solves = 0;          ///< subprocess launches
+        std::uint64_t encoded_clauses = 0; ///< clauses re-exported across solves
+        std::uint64_t encoded_bytes = 0;   ///< DIMACS bytes written
+        double encode_seconds = 0.0;       ///< export wall time
+        double solve_seconds = 0.0;        ///< subprocess wall time
+    };
+
+    /// `command` is the solver invocation; the DIMACS file path is appended
+    /// as its final (quoted) argument.
+    explicit DimacsBackend(std::string command, SolverOptions opts = {});
+
+    Var new_var() override;
+    int num_vars() const override { return cnf_.num_vars; }
+    bool add_clause(Clause c) override;
+    using SolverBackend::add_clause;
+    std::size_t num_clauses() const override { return cnf_.clauses.size(); }
+
+    SolveResult solve(const std::vector<Lit>& assumptions) override;
+    using SolverBackend::solve;
+
+    LBool model_value(Var v) const override;
+
+    void set_budget(const SolverBudget& b) override { budget_ = b; }
+    using SolverBackend::set_budget;
+    const SolverStats& stats() const override { return stats_; }
+    const SolverOptions& options() const override { return opts_; }
+    const std::string& backend_name() const override;
+
+    const SubprocessStats& subprocess_stats() const { return sub_; }
+    const std::string& command() const { return command_; }
+
+private:
+    std::string command_;
+    SolverOptions opts_;
+    SolverBudget budget_;
+    SolverStats stats_;
+    SubprocessStats sub_;
+    CnfFormula cnf_;
+    std::vector<LBool> model_;
+    bool ok_ = true;  // false once an empty clause was added
+};
+
+}  // namespace gshe::sat

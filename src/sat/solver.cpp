@@ -5,6 +5,11 @@
 
 namespace gshe::sat {
 
+const std::string& Solver::backend_name() const {
+    static const std::string name = "internal";
+    return name;
+}
+
 Var Solver::new_var() {
     const Var v = static_cast<Var>(assign_.size());
     assign_.push_back(LBool::Undef);

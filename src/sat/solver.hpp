@@ -16,71 +16,60 @@
 //    Table IV.
 //  * Feature toggles (VSIDS / restarts / learning / phase saving) for the
 //    solver-ablation benchmark.
+//
+// Solver implements the abstract sat::SolverBackend interface and is
+// registered as backend "internal" (sat/backend.hpp). The nested
+// Options/Budget/Stats/Result names are aliases for the extracted
+// backend-layer types, so historical sat::Solver::Options spellings keep
+// compiling.
 
 #include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "common/timer.hpp"
+#include "sat/backend.hpp"
 #include "sat/types.hpp"
 
 namespace gshe::sat {
 
-class Solver {
+class Solver final : public SolverBackend {
 public:
-    enum class Result { Sat, Unsat, Unknown };
-
-    struct Options {
-        bool use_vsids = true;        ///< false: pick lowest-index unassigned var
-        bool use_restarts = true;     ///< Luby restarts (base 128 conflicts)
-        bool use_learning = true;     ///< false: backtrack one level, no learnt DB
-        bool use_phase_saving = true; ///< false: always decide negative first
-        double var_decay = 0.95;
-        double clause_decay = 0.999;
-    };
-
-    struct Budget {
-        double max_seconds = std::numeric_limits<double>::infinity();
-        std::uint64_t max_conflicts = std::numeric_limits<std::uint64_t>::max();
-        std::uint64_t max_propagations = std::numeric_limits<std::uint64_t>::max();
-    };
-
-    struct Stats {
-        std::uint64_t decisions = 0;
-        std::uint64_t propagations = 0;
-        std::uint64_t conflicts = 0;
-        std::uint64_t restarts = 0;
-        std::uint64_t learnt_clauses = 0;
-        std::uint64_t removed_clauses = 0;
-    };
+    using Result = SolveResult;
+    using Options = SolverOptions;
+    using Budget = SolverBudget;
+    using Stats = SolverStats;
 
     Solver() = default;
     explicit Solver(Options opts) : opts_(opts) {}
 
     // ---- problem construction ----------------------------------------------
-    Var new_var();
-    int num_vars() const { return static_cast<int>(assign_.size()); }
+    Var new_var() override;
+    int num_vars() const override { return static_cast<int>(assign_.size()); }
 
     /// Adds a clause. Returns false if the formula is already unsatisfiable
     /// at the root level (empty clause or conflicting units).
-    bool add_clause(Clause c);
-    bool add_clause(Lit a) { return add_clause(Clause{a}); }
-    bool add_clause(Lit a, Lit b) { return add_clause(Clause{a, b}); }
-    bool add_clause(Lit a, Lit b, Lit c) { return add_clause(Clause{a, b, c}); }
+    bool add_clause(Clause c) override;
+    using SolverBackend::add_clause;
 
-    std::size_t num_clauses() const { return clauses_.size() - free_list_guard_; }
+    std::size_t num_clauses() const override {
+        return clauses_.size() - free_list_guard_;
+    }
 
     // ---- solving -----------------------------------------------------------
-    Result solve() { return solve({}); }
-    Result solve(const std::vector<Lit>& assumptions);
+    Result solve(const std::vector<Lit>& assumptions) override;
+    using SolverBackend::solve;
 
     /// Model value after Result::Sat (Undef for never-assigned vars).
-    LBool model_value(Var v) const { return model_.at(static_cast<std::size_t>(v)); }
-    bool model_bool(Var v) const { return model_value(v) == LBool::True; }
+    LBool model_value(Var v) const override {
+        return model_.at(static_cast<std::size_t>(v));
+    }
 
-    void set_budget(const Budget& b) { budget_ = b; }
-    const Stats& stats() const { return stats_; }
-    const Options& options() const { return opts_; }
+    void set_budget(const Budget& b) override { budget_ = b; }
+    using SolverBackend::set_budget;
+    const Stats& stats() const override { return stats_; }
+    const Options& options() const override { return opts_; }
+    const std::string& backend_name() const override;
 
 private:
     struct ClauseData {

@@ -15,7 +15,7 @@ Lit guard(Var v, bool value) { return Lit(v, value); }
 /// Clause literal asserting "var == value".
 Lit equal(Var v, bool value) { return Lit(v, !value); }
 
-void encode_plain_gate(Solver& s, core::Bool2 fn, Var a, Var b, Var out) {
+void encode_plain_gate(SolverBackend& s, core::Bool2 fn, Var a, Var b, Var out) {
     for (int va = 0; va < 2; ++va)
         for (int vb = 0; vb < 2; ++vb) {
             const bool f = fn.eval(va != 0, vb != 0);
@@ -28,7 +28,7 @@ void encode_plain_gate(Solver& s, core::Bool2 fn, Var a, Var b, Var out) {
         }
 }
 
-void encode_camo_gate(Solver& s, const netlist::CamoCell& cell, Var a, Var b,
+void encode_camo_gate(SolverBackend& s, const netlist::CamoCell& cell, Var a, Var b,
                       Var out, const std::vector<Var>& key_bits) {
     const std::size_t k = cell.candidates.size();
     const int bits = cell.key_bits();
@@ -61,7 +61,7 @@ void encode_camo_gate(Solver& s, const netlist::CamoCell& cell, Var a, Var b,
 
 }  // namespace
 
-CircuitEncoding encode_circuit(Solver& solver, const netlist::Netlist& nl,
+CircuitEncoding encode_circuit(SolverBackend& solver, const netlist::Netlist& nl,
                                const std::vector<Var>& shared_pis,
                                const std::vector<Var>& shared_keys) {
     if (!nl.dffs().empty())
@@ -133,7 +133,7 @@ CircuitEncoding encode_circuit(Solver& solver, const netlist::Netlist& nl,
     return enc;
 }
 
-Var add_xor(Solver& solver, Var a, Var b) {
+Var add_xor(SolverBackend& solver, Var a, Var b) {
     const Var y = solver.new_var();
     solver.add_clause(Lit(a, true), Lit(b, true), Lit(y, true));
     solver.add_clause(Lit(a, false), Lit(b, false), Lit(y, true));
@@ -142,7 +142,7 @@ Var add_xor(Solver& solver, Var a, Var b) {
     return y;
 }
 
-Var add_or(Solver& solver, const std::vector<Var>& xs) {
+Var add_or(SolverBackend& solver, const std::vector<Var>& xs) {
     const Var y = solver.new_var();
     if (xs.empty()) {
         fix_var(solver, y, false);
@@ -158,11 +158,11 @@ Var add_or(Solver& solver, const std::vector<Var>& xs) {
     return y;
 }
 
-void fix_var(Solver& solver, Var v, bool value) {
+void fix_var(SolverBackend& solver, Var v, bool value) {
     solver.add_clause(Lit(v, !value));
 }
 
-std::vector<Var> add_difference(Solver& solver, const std::vector<Var>& a,
+std::vector<Var> add_difference(SolverBackend& solver, const std::vector<Var>& a,
                                 const std::vector<Var>& b) {
     if (a.size() != b.size())
         throw std::invalid_argument("add_difference: size mismatch");

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
-#include "sat/solver.hpp"
+#include "sat/backend.hpp"
 
 namespace gshe::sat {
 
@@ -36,19 +36,19 @@ struct CircuitEncoding {
 /// one existing variable per primary input, which the instance will reuse.
 /// If `shared_keys` is non-empty the instance reuses those key variables.
 /// The netlist must be combinational (use unroll_for_scan first).
-CircuitEncoding encode_circuit(Solver& solver, const netlist::Netlist& nl,
+CircuitEncoding encode_circuit(SolverBackend& solver, const netlist::Netlist& nl,
                                const std::vector<Var>& shared_pis = {},
                                const std::vector<Var>& shared_keys = {});
 
 /// y = a XOR b as a fresh variable.
-Var add_xor(Solver& solver, Var a, Var b);
+Var add_xor(SolverBackend& solver, Var a, Var b);
 /// y = OR of `xs` as a fresh variable (false literal for empty input).
-Var add_or(Solver& solver, const std::vector<Var>& xs);
+Var add_or(SolverBackend& solver, const std::vector<Var>& xs);
 /// Adds clauses forcing variable `v` to the given constant.
-void fix_var(Solver& solver, Var v, bool value);
+void fix_var(SolverBackend& solver, Var v, bool value);
 /// Adds clauses forcing a != b for at least one position (vectors differ).
 /// Returns the per-position difference variables.
-std::vector<Var> add_difference(Solver& solver, const std::vector<Var>& a,
+std::vector<Var> add_difference(SolverBackend& solver, const std::vector<Var>& a,
                                 const std::vector<Var>& b);
 
 }  // namespace gshe::sat

@@ -98,6 +98,7 @@ JobResult sample_result() {
     r.circuit = "alpha";
     r.defense = "camo:gshe16@10%";
     r.attack = "sat";
+    r.solver_backend = "dimacs";
     r.spec_seed = 2;
     r.derived_seed = 0xfedcba9876543210ULL;  // does not fit a double
     r.protected_cells = 6;
@@ -147,6 +148,7 @@ JobSpec sample_spec() {
     spec.attack_options.verify_patterns = 123;
     spec.attack_options.verify_seed = 77;
     spec.attack_options.appsat_error_threshold = 0.01;
+    spec.attack_options.solver_backend = "dimacs";
     spec.attack_options.solver.use_vsids = false;
     spec.attack_options.solver.use_restarts = false;
     spec.attack_options.solver.use_learning = true;
@@ -177,6 +179,7 @@ void expect_specs_equal(const JobSpec& a, const JobSpec& b) {
     EXPECT_EQ(a.attack_options.verify_seed, b.attack_options.verify_seed);
     EXPECT_EQ(a.attack_options.appsat_error_threshold,
               b.attack_options.appsat_error_threshold);
+    EXPECT_EQ(a.attack_options.solver_backend, b.attack_options.solver_backend);
     EXPECT_EQ(a.attack_options.solver.use_vsids, b.attack_options.solver.use_vsids);
     EXPECT_EQ(a.attack_options.solver.use_restarts,
               b.attack_options.solver.use_restarts);
@@ -194,6 +197,7 @@ void expect_results_equal(const JobResult& a, const JobResult& b) {
     EXPECT_EQ(a.circuit, b.circuit);
     EXPECT_EQ(a.defense, b.defense);
     EXPECT_EQ(a.attack, b.attack);
+    EXPECT_EQ(a.solver_backend, b.solver_backend);
     EXPECT_EQ(a.spec_seed, b.spec_seed);
     EXPECT_EQ(a.derived_seed, b.derived_seed);
     EXPECT_EQ(a.protected_cells, b.protected_cells);

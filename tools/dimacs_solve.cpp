@@ -1,0 +1,106 @@
+// dimacs_solve — a MiniSat/CryptoMiniSat-compatible command-line front-end
+// over the in-tree CDCL solver: reads a DIMACS CNF file, prints SAT-
+// competition output ("s SATISFIABLE" + "v" model records + "c" stat
+// lines) and exits 10/20/0 for SAT/UNSAT/unknown.
+//
+// Two jobs:
+//  * a standalone DIMACS solver for ad-hoc debugging of exported miters;
+//  * the self-hosted test vehicle for the "dimacs" subprocess backend —
+//    point GSHE_DIMACS_SOLVER at this binary and the backend's attack
+//    tests run end to end with no external solver installed:
+//
+//      GSHE_DIMACS_SOLVER=$PWD/build/dimacs_solve ctest -R 'sat|attack'
+//
+// Usage: dimacs_solve [--max-seconds=S] [--max-conflicts=N] FILE.cnf
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+
+using namespace gshe;
+
+int main(int argc, char** argv) {
+    std::string path;
+    sat::SolverBudget budget;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--max-seconds=", 0) == 0)
+            budget.max_seconds = std::atof(arg.c_str() + 14);
+        else if (arg.rfind("--max-conflicts=", 0) == 0)
+            budget.max_conflicts = std::strtoull(arg.c_str() + 16, nullptr, 10);
+        else if (arg == "--help" || arg == "-h" || arg[0] == '-') {
+            std::fprintf(stderr,
+                         "usage: dimacs_solve [--max-seconds=S] "
+                         "[--max-conflicts=N] FILE.cnf\n");
+            return arg == "--help" || arg == "-h" ? 0 : 2;
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "dimacs_solve: no input file\n");
+        return 2;
+    }
+
+    sat::CnfFormula formula;
+    try {
+        std::ifstream f(path, std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "dimacs_solve: cannot open %s\n", path.c_str());
+            return 2;
+        }
+        formula = sat::read_dimacs(f);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "dimacs_solve: %s\n", e.what());
+        return 2;
+    }
+
+    std::printf("c gshe internal CDCL solver (DIMACS front-end)\n");
+    std::printf("c vars: %d  clauses: %zu\n", formula.num_vars,
+                formula.clauses.size());
+    sat::Solver solver;
+    solver.set_budget(budget);
+    const bool loaded = sat::load_into_solver(formula, solver);
+    const sat::SolveResult result =
+        loaded ? solver.solve() : sat::SolveResult::Unsat;
+
+    const sat::SolverStats& stats = solver.stats();
+    std::printf("c conflicts    : %llu\n",
+                static_cast<unsigned long long>(stats.conflicts));
+    std::printf("c decisions    : %llu\n",
+                static_cast<unsigned long long>(stats.decisions));
+    std::printf("c propagations : %llu\n",
+                static_cast<unsigned long long>(stats.propagations));
+    std::printf("c restarts     : %llu\n",
+                static_cast<unsigned long long>(stats.restarts));
+
+    switch (result) {
+        case sat::SolveResult::Sat: {
+            std::printf("s SATISFIABLE\n");
+            std::string line = "v";
+            for (sat::Var v = 0; v < formula.num_vars; ++v) {
+                const bool value = solver.model_bool(v);
+                line += ' ';
+                if (!value) line += '-';
+                line += std::to_string(v + 1);
+                if (line.size() > 72) {  // competition-style wrapped records
+                    std::printf("%s\n", line.c_str());
+                    line = "v";
+                }
+            }
+            std::printf("%s 0\n", line.c_str());
+            return 10;
+        }
+        case sat::SolveResult::Unsat:
+            std::printf("s UNSATISFIABLE\n");
+            return 20;
+        case sat::SolveResult::Unknown:
+            std::printf("s INDETERMINATE\n");
+            return 0;
+    }
+    return 0;
+}

@@ -30,6 +30,7 @@
 
 #include "attack/attack.hpp"
 #include "common/report.hpp"
+#include "sat/backend.hpp"
 #include "engine/campaign.hpp"
 #include "engine/defense.hpp"
 #include "engine/report.hpp"
@@ -60,6 +61,7 @@ struct Cli {
     std::vector<std::string> circuits = {"ex1010", "c7552"};
     std::vector<std::string> defenses = {"camo", "sarlock", "stochastic"};
     std::vector<std::string> attacks = {"sat", "double_dip"};
+    std::string solver = "internal";
     int n_seeds = 2;
     double fraction = 0.05;
     std::string library = "gshe16";
@@ -84,6 +86,9 @@ void usage() {
         "  --defenses=k,...   defense kinds (default camo,sarlock,stochastic;\n"
         "                     also: delay_aware, dynamic)\n"
         "  --attacks=a,...    attacks (default sat,double_dip; also: appsat)\n"
+        "  --solver=NAME      SAT backend for every attack (default internal;\n"
+        "                     'dimacs' shells out to the binary named by the\n"
+        "                     GSHE_DIMACS_SOLVER environment variable)\n"
         "  --seeds=N          replications with seeds 1..N (default 2)\n"
         "  --fraction=F       protected gate fraction (default 0.05)\n"
         "  --library=NAME     camouflage cell library (default gshe16)\n"
@@ -119,6 +124,12 @@ void list_choices() {
         const attack::Attack& a = attack::attack_by_name(name);
         std::printf("  %-11s %s\n", name.c_str(), a.label().c_str());
     }
+    std::printf("solver backends:\n");
+    for (const auto& name : sat::backend_names()) {
+        const sat::BackendFactory& b = sat::backend_by_name(name);
+        std::printf("  %-11s %s%s\n", name.c_str(), b.label().c_str(),
+                    b.available() ? "" : " [unavailable]");
+    }
 }
 
 bool parse(Cli& cli, int argc, char** argv, bool& exit_ok) {
@@ -147,6 +158,7 @@ bool parse(Cli& cli, int argc, char** argv, bool& exit_ok) {
         else if (starts("--circuits=")) cli.circuits = split(val(), ',');
         else if (starts("--defenses=")) cli.defenses = split(val(), ',');
         else if (starts("--attacks=")) cli.attacks = split(val(), ',');
+        else if (starts("--solver=")) cli.solver = val();
         else if (starts("--seeds=")) cli.n_seeds = std::atoi(val().c_str());
         else if (starts("--fraction=")) cli.fraction = std::atof(val().c_str());
         else if (starts("--library=")) cli.library = val();
@@ -196,6 +208,21 @@ int main(int argc, char** argv) {
     attack::AttackOptions attack_options;
     attack_options.timeout_seconds = cli.timeout_seconds;
     attack_options.max_conflicts = cli.max_conflicts;
+    attack_options.solver_backend = cli.solver;
+    try {
+        // Validate up front so a typo fails before any job runs; the error
+        // lists every registered backend.
+        const sat::BackendFactory& backend = sat::backend_by_name(cli.solver);
+        if (!backend.available()) {
+            std::fprintf(stderr,
+                         "solver backend '%s' is not available: %s\n",
+                         cli.solver.c_str(), backend.label().c_str());
+            return 2;
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
 
     const std::vector<JobSpec> jobs = CampaignRunner::cross_product(
         cli.circuits, defenses, cli.attacks, seeds, attack_options);

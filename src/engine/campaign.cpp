@@ -14,6 +14,59 @@
 
 namespace gshe::engine {
 
+// ---- shards -----------------------------------------------------------------
+
+std::string ShardSpec::label() const {
+    return std::to_string(index) + "/" + std::to_string(total);
+}
+
+namespace {
+
+void validate_shard(const ShardSpec& shard) {
+    if (shard.total == 0)
+        throw std::invalid_argument("shard total must be at least 1");
+    if (shard.index >= shard.total)
+        throw std::invalid_argument("shard index " + std::to_string(shard.index) +
+                                    " out of range for " +
+                                    std::to_string(shard.total) + " shard(s)");
+}
+
+}  // namespace
+
+// ---- planner ----------------------------------------------------------------
+
+std::vector<std::size_t> JobPlan::shard_indices(const ShardSpec& shard) const {
+    validate_shard(shard);
+    std::vector<std::size_t> indices;
+    indices.reserve(jobs.size() / shard.total + 1);
+    for (std::size_t i = shard.index; i < jobs.size(); i += shard.total)
+        indices.push_back(i);
+    return indices;
+}
+
+JobPlan plan_jobs(const std::vector<JobSpec>& specs,
+                  std::uint64_t campaign_seed) {
+    JobPlan plan;
+    plan.campaign_seed = campaign_seed;
+    plan.jobs.reserve(specs.size());
+    std::vector<std::uint64_t> keys;
+    keys.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        PlannedJob job;
+        job.index = i;
+        job.spec = specs[i];
+        job.key = checkpoint::job_key(campaign_seed, i, specs[i]);
+        job.derived_seed =
+            CampaignRunner::derive_seed(campaign_seed, i, specs[i].seed);
+        keys.push_back(job.key);
+        plan.jobs.push_back(std::move(job));
+    }
+    plan.fingerprint = checkpoint::plan_fingerprint(campaign_seed, keys);
+    return plan;
+}
+
+// ---- aggregator -------------------------------------------------------------
+
 std::size_t CampaignResult::succeeded() const {
     std::size_t n = 0;
     for (const auto& j : jobs)
@@ -29,6 +82,30 @@ std::size_t CampaignResult::errored() const {
         if (!j.error.empty()) ++n;
     return n;
 }
+
+CampaignResult aggregate_results(std::vector<JobResult> results, int threads,
+                                 double wall_seconds, std::size_t resumed,
+                                 std::string checkpoint_error) {
+    std::sort(results.begin(), results.end(),
+              [](const JobResult& a, const JobResult& b) {
+                  return a.index < b.index;
+              });
+    for (std::size_t i = 1; i < results.size(); ++i)
+        if (results[i].index == results[i - 1].index)
+            throw std::invalid_argument(
+                "aggregate: duplicate result for job index " +
+                std::to_string(results[i].index));
+    CampaignResult out;
+    out.jobs = std::move(results);
+    out.threads = threads;
+    out.wall_seconds = wall_seconds;
+    out.resumed = resumed;
+    out.checkpoint_error = std::move(checkpoint_error);
+    out.plan_size = out.jobs.size();
+    return out;
+}
+
+// ---- executor ---------------------------------------------------------------
 
 CampaignRunner::CampaignRunner(CampaignOptions options)
     : options_(std::move(options)) {
@@ -53,17 +130,25 @@ std::uint64_t CampaignRunner::derive_seed(std::uint64_t campaign_seed,
     return z;
 }
 
-JobResult CampaignRunner::run_job(const JobSpec& spec,
-                                  std::size_t index) const {
+std::size_t CampaignRunner::resolve_threads(std::size_t jobs) const {
+    const std::size_t requested =
+        options_.threads > 0
+            ? static_cast<std::size_t>(options_.threads)
+            : std::max(1u, std::thread::hardware_concurrency());
+    return std::min(requested, std::max<std::size_t>(jobs, 1));
+}
+
+JobResult CampaignRunner::run_job(const PlannedJob& job) const {
     Timer timer;
+    const JobSpec& spec = job.spec;
     JobResult r;
-    r.index = index;
+    r.index = job.index;
     r.circuit = spec.circuit;
     r.defense = spec.defense.label();
     r.attack = spec.attack;
     r.solver_backend = spec.attack_options.solver_backend;
     r.spec_seed = spec.seed;
-    r.derived_seed = derive_seed(options_.campaign_seed, index, spec.seed);
+    r.derived_seed = job.derived_seed;
     try {
         const attack::Attack& attack = attack::attack_by_name(spec.attack);
         const netlist::Netlist base = options_.netlist_provider(spec.circuit);
@@ -85,97 +170,34 @@ JobResult CampaignRunner::run_job(const JobSpec& spec,
     return r;
 }
 
-CampaignResult CampaignRunner::run(const std::vector<JobSpec>& jobs) const {
-    Timer timer;
-    CampaignResult out;
-    out.jobs.resize(jobs.size());
-
-    // Per-job identity keys; computed up front so resume matching and the
-    // per-job journal appends share them.
-    std::vector<std::uint64_t> keys;
-    std::vector<char> cached(jobs.size(), 0);
-    std::unique_ptr<checkpoint::Journal> journal;
-    if (!options_.checkpoint_path.empty()) {
-        keys.reserve(jobs.size());
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-            keys.push_back(
-                checkpoint::job_key(options_.campaign_seed, i, jobs[i]));
-
-        // Resume: match journal records to the matrix by key. A record
-        // whose key matches no slot is stale (different seed, spec or
-        // position) and is dropped from the rewritten journal.
-        std::vector<std::string> kept;
-        if (options_.resume_from_checkpoint) {
-            std::unordered_map<std::uint64_t, checkpoint::Record> by_key;
-            for (auto& record :
-                 checkpoint::load_journal(options_.checkpoint_path))
-                by_key.emplace(record.key, std::move(record));
-            for (std::size_t i = 0; i < jobs.size(); ++i) {
-                const auto it = by_key.find(keys[i]);
-                if (it == by_key.end()) continue;
-                // Errored jobs are never cached (errors are environmental,
-                // not a function of the spec — a preemption-induced failure
-                // must retry on resume). This runner does not journal them;
-                // the guard also covers journals from other writers.
-                if (!it->second.result.error.empty()) continue;
-                JobResult r = std::move(it->second.result);
-                r.index = i;  // slot identity comes from the live matrix
-                out.jobs[i] = std::move(r);
-                cached[i] = 1;
-                ++out.resumed;
-                kept.push_back(std::move(it->second.line));
-                by_key.erase(it);  // one record satisfies one slot
-            }
-        }
-        journal = std::make_unique<checkpoint::Journal>(
-            options_.checkpoint_path);
-        journal->reset(kept);
-    }
-
-    std::size_t threads = options_.threads > 0
-                              ? static_cast<std::size_t>(options_.threads)
-                              : std::max(1u, std::thread::hardware_concurrency());
-    threads = std::min(threads, std::max<std::size_t>(jobs.size(), 1));
-    out.threads = static_cast<int>(threads);
+std::vector<JobResult> CampaignRunner::execute(
+    const JobPlan& plan, const std::vector<std::size_t>& indices,
+    const std::function<void(const JobResult&)>& on_done) const {
+    for (const std::size_t i : indices)
+        if (i >= plan.jobs.size())
+            throw std::invalid_argument("execute: plan index " +
+                                        std::to_string(i) + " out of range");
+    std::vector<JobResult> out(indices.size());
+    const std::size_t threads = resolve_threads(indices.size());
 
     std::atomic<std::size_t> next{0};
     std::mutex done_mutex;
     auto worker = [&] {
         while (true) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= jobs.size()) break;
-            if (cached[i]) continue;
-            JobResult r = run_job(jobs[i], i);
-            {
+            const std::size_t slot = next.fetch_add(1);
+            if (slot >= indices.size()) break;
+            JobResult r = run_job(plan.jobs[indices[slot]]);
+            if (on_done) {
+                // Serialized, and a throw escaping a worker thread would
+                // std::terminate the whole campaign; progress reporting is
+                // not worth that.
                 const std::lock_guard<std::mutex> lock(done_mutex);
-                // Only clean results are journaled: a thrown job is not a
-                // pure function of its spec (out-of-memory, missing file),
-                // so resuming must retry it rather than replay the error.
-                if (journal && r.error.empty()) {
-                    // Journal before reporting so a crash inside the
-                    // progress hook never loses a finished job. A journal
-                    // failure (disk full, unlinked directory) must not
-                    // escape the worker thread — that would std::terminate
-                    // the campaign; record it and stop journaling instead.
-                    try {
-                        journal->append(
-                            checkpoint::encode_record(keys[i], jobs[i], r));
-                    } catch (const std::exception& e) {
-                        out.checkpoint_error = e.what();
-                        journal.reset();
-                    }
-                }
-                if (options_.on_job_done) {
-                    // A throw escaping a worker thread would std::terminate
-                    // the whole campaign; progress reporting is not worth
-                    // that.
-                    try {
-                        options_.on_job_done(r);
-                    } catch (...) {
-                    }
+                try {
+                    on_done(r);
+                } catch (...) {
                 }
             }
-            out.jobs[i] = std::move(r);
+            out[slot] = std::move(r);
         }
     };
 
@@ -187,8 +209,160 @@ CampaignResult CampaignRunner::run(const std::vector<JobSpec>& jobs) const {
         for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
         for (auto& t : pool) t.join();
     }
+    return out;
+}
 
-    out.wall_seconds = timer.seconds();
+// ---- run: plan + resume + execute + aggregate -------------------------------
+
+CampaignResult CampaignRunner::run(const std::vector<JobSpec>& jobs) const {
+    return run(plan_jobs(jobs, options_.campaign_seed));
+}
+
+CampaignResult CampaignRunner::run(const JobPlan& plan) const {
+    Timer timer;
+    if (plan.campaign_seed != options_.campaign_seed)
+        throw std::invalid_argument(
+            "campaign: plan was built for campaign seed " +
+            std::to_string(plan.campaign_seed) + ", runner is configured for " +
+            std::to_string(options_.campaign_seed));
+    const ShardSpec shard = options_.shard;
+    validate_shard(shard);
+    const std::vector<std::size_t> mine = plan.shard_indices(shard);
+
+    const checkpoint::ShardStamp stamp{
+        plan.fingerprint, static_cast<std::uint64_t>(plan.jobs.size()),
+        static_cast<std::uint64_t>(shard.index),
+        static_cast<std::uint64_t>(shard.total)};
+
+    // Resume: match journal records to this shard's slots by key. A record
+    // whose key matches no slot is stale (different seed, spec or position)
+    // and is dropped from the rewritten journal — unless it carries this
+    // very plan's fingerprint under a different shard id, which is an
+    // operator error (pointing shard i at shard j's journal would silently
+    // discard shard j's completed work), so it fails loudly instead.
+    std::vector<JobResult> cached_results;
+    std::size_t resumed = 0;
+    std::unique_ptr<checkpoint::Journal> journal;
+    std::vector<char> cached(plan.jobs.size(), 0);
+    if (!options_.checkpoint_path.empty()) {
+        std::vector<std::string> kept;
+        if (options_.resume_from_checkpoint) {
+            // Key → owning plan index, to recognize completed work that
+            // belongs to ANOTHER shard of this very plan (regardless of
+            // how — or whether — the record is stamped): rewriting the
+            // journal would silently discard it, so that fails loudly.
+            std::unordered_map<std::uint64_t, std::size_t> plan_index_by_key;
+            if (shard.is_sharded())
+                for (const auto& job : plan.jobs)
+                    plan_index_by_key.emplace(job.key, job.index);
+            std::unordered_map<std::uint64_t, checkpoint::Record> by_key;
+            for (auto& record :
+                 checkpoint::load_journal(options_.checkpoint_path)) {
+                if (record.stamp.plan_fingerprint == plan.fingerprint &&
+                    (record.stamp.shard_index != stamp.shard_index ||
+                     record.stamp.shard_total != stamp.shard_total)) {
+                    const ShardSpec other{
+                        static_cast<std::size_t>(record.stamp.shard_index),
+                        static_cast<std::size_t>(record.stamp.shard_total)};
+                    throw std::runtime_error(
+                        "checkpoint: journal " + options_.checkpoint_path +
+                        " was written by shard " + other.label() +
+                        " of this plan; this run is shard " + shard.label() +
+                        " (use the matching --shard or a fresh journal)");
+                }
+                if (shard.is_sharded()) {
+                    const auto owner = plan_index_by_key.find(record.key);
+                    if (owner != plan_index_by_key.end() &&
+                        !shard.contains(owner->second))
+                        throw std::runtime_error(
+                            "checkpoint: journal " + options_.checkpoint_path +
+                            " holds a completed job of this plan (index " +
+                            std::to_string(owner->second) +
+                            ") owned by shard " +
+                            ShardSpec{owner->second % shard.total, shard.total}
+                                .label() +
+                            ", not this shard " + shard.label() +
+                            "; resuming would discard that work — resume the "
+                            "journal unsharded or with the owning shard");
+                }
+                by_key.emplace(record.key, std::move(record));
+            }
+            for (const std::size_t i : mine) {
+                const auto it = by_key.find(plan.jobs[i].key);
+                if (it == by_key.end()) continue;
+                // Errored jobs are never cached (errors are environmental,
+                // not a function of the spec — a preemption-induced failure
+                // must retry on resume). This runner does not journal them;
+                // the guard also covers journals from other writers.
+                if (!it->second.result.error.empty()) continue;
+                JobResult r = std::move(it->second.result);
+                r.index = i;  // slot identity comes from the live plan
+                // Rewrite with this run's stamp when the record's differs
+                // (a pre-sharding journal, or a prefix salvaged from a
+                // since-extended plan): otherwise the journal would stay
+                // unmergeable forever, with merge_journals advising a
+                // resume that never restamps. Same-stamp records keep
+                // their original bytes, preserving any fields a newer
+                // writer may have added.
+                kept.push_back(it->second.stamp == stamp
+                                   ? std::move(it->second.line)
+                                   : checkpoint::encode_record(
+                                         plan.jobs[i].key, plan.jobs[i].spec,
+                                         r, stamp));
+                cached_results.push_back(std::move(r));
+                cached[i] = 1;
+                ++resumed;
+                by_key.erase(it);  // one record satisfies one slot
+            }
+        }
+        journal = std::make_unique<checkpoint::Journal>(
+            options_.checkpoint_path);
+        journal->reset(kept);
+    }
+
+    std::vector<std::size_t> pending;
+    pending.reserve(mine.size());
+    for (const std::size_t i : mine)
+        if (!cached[i]) pending.push_back(i);
+
+    std::string checkpoint_error;
+    // on_done is serialized by execute(), so plain captures are safe.
+    auto on_done = [&](const JobResult& r) {
+        // Only clean results are journaled: a thrown job is not a pure
+        // function of its spec (out-of-memory, missing file), so resuming
+        // must retry it rather than replay the error. Journal before
+        // reporting so a crash inside the progress hook never loses a
+        // finished job; a journal failure (disk full, unlinked directory)
+        // is recorded and disables journaling rather than killing the
+        // campaign.
+        if (journal && r.error.empty()) {
+            try {
+                journal->append(checkpoint::encode_record(
+                    plan.jobs[r.index].key, plan.jobs[r.index].spec, r,
+                    stamp));
+            } catch (const std::exception& e) {
+                checkpoint_error = e.what();
+                journal.reset();
+            }
+        }
+        if (options_.on_job_done) options_.on_job_done(r);
+    };
+
+    std::vector<JobResult> fresh = execute(plan, pending, on_done);
+
+    // Aggregate: cached + fresh results, packed in matrix order through the
+    // same path tools/merge_campaign uses for shard journals.
+    std::vector<JobResult> results = std::move(cached_results);
+    results.reserve(mine.size());
+    for (auto& r : fresh) results.push_back(std::move(r));
+
+    CampaignResult out = aggregate_results(
+        std::move(results),
+        static_cast<int>(resolve_threads(pending.size())), timer.seconds(),
+        resumed, std::move(checkpoint_error));
+    out.shard = shard;
+    out.plan_size = plan.jobs.size();
+    out.plan_fingerprint = plan.fingerprint;
     return out;
 }
 

@@ -1,8 +1,23 @@
 #pragma once
-// CampaignRunner: the parallel job scheduler behind the paper's security
-// study. Tables III-IV and Sec. V are one large cross-product of
-// {circuit x defense x attack x seed}; each cell is an independent Job, and
-// the runner schedules them across a thread pool.
+// The campaign engine behind the paper's security study. Tables III-IV and
+// Sec. V are one large cross-product of {circuit x defense x attack x seed};
+// each cell is an independent Job. The engine is an explicit three-phase
+// pipeline so a campaign can be split across processes and machines:
+//
+//   planner    plan_jobs() turns the matrix into an ordered, indexed JobPlan:
+//              per-job identity keys, derived seeds and a plan fingerprint
+//              (a hash of the campaign seed and every job key). The plan is
+//              the partitionable artifact — any subset of its indices can be
+//              executed anywhere.
+//   executor   CampaignRunner::execute() runs an arbitrary index subset of a
+//              plan across a thread pool. run() selects the subset from
+//              CampaignOptions::shard (round-robin: shard i of N owns the
+//              indices j with j % N == i) and wires up checkpoint journaling
+//              and resume around it.
+//   aggregator aggregate_results() packs per-job results (from a live run OR
+//              from merged shard journals — one shared code path) into a
+//              CampaignResult in matrix order, from which the deterministic
+//              CSV/JSON reports are rendered.
 //
 // Determinism contract: a job's result is a pure function of its JobSpec,
 // the campaign seed and its matrix index. Per-job randomness derives from
@@ -11,11 +26,11 @@
 // index, so a campaign's per-job results (and the deterministic CSV built
 // from them) are bit-identical at --threads=1 and --threads=N — and, via
 // the checkpoint journal (engine/checkpoint.hpp), identical whether the
-// campaign ran uninterrupted or was killed and resumed any number of times.
-// Wall-clock
-// fields (JobResult::job_seconds, AttackResult::seconds, OracleStats::
-// seconds) are measured, not derived, and are excluded from deterministic
-// reports. For reproducible "t-o" cells, budget attacks with
+// campaign ran uninterrupted, was killed and resumed any number of times,
+// or was split into any shard count and merged (tools/merge_campaign).
+// Wall-clock fields (JobResult::job_seconds, AttackResult::seconds,
+// OracleStats::seconds) are measured, not derived, and are excluded from
+// deterministic reports. For reproducible "t-o" cells, budget attacks with
 // AttackOptions::max_conflicts rather than a tight wall-clock timeout.
 
 #include <cstdint>
@@ -65,8 +80,56 @@ struct JobResult {
     std::string error;         ///< non-empty: the job threw; result is default
 };
 
+/// Round-robin shard selector for multi-process campaigns: of a plan's
+/// N-way partition, shard i executes the indices j with j % N == i.
+/// Round-robin (rather than contiguous ranges) balances shard wall time
+/// when job cost correlates with matrix position (e.g. circuits sorted by
+/// size).
+struct ShardSpec {
+    std::size_t index = 0;  ///< this process's shard, in [0, total)
+    std::size_t total = 1;  ///< shard count; 1 = unsharded
+
+    bool is_sharded() const { return total > 1; }
+    bool contains(std::size_t job_index) const {
+        return job_index % total == index;
+    }
+    /// "i/N", the CLI spelling.
+    std::string label() const;
+};
+
+/// One planned cell: the spec plus everything identity-bearing the planner
+/// derives from its matrix position.
+struct PlannedJob {
+    std::size_t index = 0;           ///< matrix position (row-major)
+    JobSpec spec;
+    std::uint64_t key = 0;           ///< checkpoint::job_key(seed, index, spec)
+    std::uint64_t derived_seed = 0;  ///< CampaignRunner::derive_seed(...)
+};
+
+/// The ordered, indexed execution plan: the partitionable artifact shards
+/// and journals agree on. Two plans with the same fingerprint schedule the
+/// same jobs in the same slots under the same campaign seed.
+struct JobPlan {
+    std::uint64_t campaign_seed = 0;
+    /// checkpoint::plan_fingerprint() over the campaign seed and every job
+    /// key; stamped on journal records so merging mismatched plans fails
+    /// loudly instead of silently interleaving different experiments.
+    std::uint64_t fingerprint = 0;
+    std::vector<PlannedJob> jobs;  ///< matrix order; jobs[i].index == i
+
+    std::size_t size() const { return jobs.size(); }
+    /// The plan indices the given shard owns, ascending.
+    std::vector<std::size_t> shard_indices(const ShardSpec& shard) const;
+};
+
+/// Planner: derives keys, seeds and the fingerprint for a job matrix.
+/// Throws std::invalid_argument on an invalid shard-free input (none today;
+/// the matrix itself is unconstrained).
+JobPlan plan_jobs(const std::vector<JobSpec>& specs,
+                  std::uint64_t campaign_seed);
+
 struct CampaignResult {
-    std::vector<JobResult> jobs;  ///< matrix order, independent of threads
+    std::vector<JobResult> jobs;  ///< ascending matrix order
     int threads = 1;
     double wall_seconds = 0.0;
     /// Jobs satisfied from the checkpoint journal instead of being re-run.
@@ -74,10 +137,24 @@ struct CampaignResult {
     /// Non-empty: journaling failed mid-run (e.g. disk full) and was
     /// disabled; the campaign itself still completed.
     std::string checkpoint_error;
+    /// The shard this result covers (jobs holds only that shard's cells
+    /// when sharded) and the full plan it was cut from.
+    ShardSpec shard;
+    std::size_t plan_size = 0;          ///< full plan size (== jobs.size() unsharded)
+    std::uint64_t plan_fingerprint = 0; ///< 0 when not built from a plan
 
     std::size_t succeeded() const;  ///< jobs whose attack reported Success
     std::size_t errored() const;    ///< jobs that threw
 };
+
+/// Aggregator: packs per-job results — from a live executor run or from
+/// merged shard journals; both go through here so a merged report can never
+/// drift from a run report — into a CampaignResult sorted by matrix index.
+/// Throws std::invalid_argument on duplicate indices.
+CampaignResult aggregate_results(std::vector<JobResult> results,
+                                 int threads, double wall_seconds,
+                                 std::size_t resumed = 0,
+                                 std::string checkpoint_error = {});
 
 struct CampaignOptions {
     /// Worker threads; 0 = std::thread::hardware_concurrency().
@@ -85,6 +162,10 @@ struct CampaignOptions {
     /// Mixed into every job's derived seed; campaigns with different seeds
     /// are independent replications of the same matrix.
     std::uint64_t campaign_seed = 0x6a0b5eed;
+    /// The slice of the plan this process executes (default: everything).
+    /// Shard membership is plan data, not spec data: the same plan sharded
+    /// any way produces the same per-job results.
+    ShardSpec shard;
     /// Resolves JobSpec::circuit to a netlist. Defaults to the Table III
     /// corpus (netlist::build_benchmark). Must be thread-safe.
     std::function<netlist::Netlist(const std::string&)> netlist_provider;
@@ -95,7 +176,10 @@ struct CampaignOptions {
     std::function<void(const JobResult&)> on_job_done;
     /// When non-empty, every finished job is appended to this JSONL journal
     /// through the atomic write-then-rename protocol (engine/checkpoint.hpp)
-    /// so an interrupted campaign can restart where it stopped.
+    /// so an interrupted campaign can restart where it stopped. Sharded
+    /// campaigns use one journal per shard; records carry the shard id and
+    /// plan fingerprint, and resuming a journal written by a different
+    /// shard of the same plan fails loudly.
     std::string checkpoint_path;
     /// With checkpoint_path set: load an existing journal, skip the jobs it
     /// already holds, and merge their cached results — the resumed
@@ -109,10 +193,25 @@ class CampaignRunner {
 public:
     explicit CampaignRunner(CampaignOptions options = {});
 
-    /// Runs every job, returning per-job results in matrix order.
-    /// Individual job failures are captured in JobResult::error; run()
-    /// itself only throws on setup errors.
+    /// plan + execute + aggregate: plans the matrix under the configured
+    /// campaign seed and runs this process's shard of it. Individual job
+    /// failures are captured in JobResult::error; run() itself only throws
+    /// on setup errors (invalid shard, unusable journal path, a journal
+    /// stamped by a different shard of the same plan).
     CampaignResult run(const std::vector<JobSpec>& jobs) const;
+
+    /// Same, over an already-built plan (must carry this runner's campaign
+    /// seed).
+    CampaignResult run(const JobPlan& plan) const;
+
+    /// Executor: runs exactly the given plan indices across the thread
+    /// pool, returning their results in the order of `indices`. `on_done`
+    /// (optional) fires once per finished job, serialized, from worker
+    /// threads; exceptions it throws are swallowed. No checkpointing here —
+    /// run() layers that on top.
+    std::vector<JobResult> execute(
+        const JobPlan& plan, const std::vector<std::size_t>& indices,
+        const std::function<void(const JobResult&)>& on_done = {}) const;
 
     /// The deterministic per-job seed (splitmix64-style mixing of the
     /// campaign seed, the job's matrix index and its spec seed).
@@ -130,7 +229,12 @@ public:
         const attack::AttackOptions& attack_options);
 
 private:
-    JobResult run_job(const JobSpec& spec, std::size_t index) const;
+    JobResult run_job(const PlannedJob& job) const;
+    /// Worker-pool size for `jobs` runnable jobs: options_.threads
+    /// (0 = all cores), never more threads than jobs, at least 1.
+    /// CampaignResult::threads reports this for the jobs that actually ran
+    /// (resumed jobs need no workers).
+    std::size_t resolve_threads(std::size_t jobs) const;
 
     CampaignOptions options_;
 };

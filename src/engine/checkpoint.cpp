@@ -347,14 +347,39 @@ std::uint64_t job_key(std::uint64_t campaign_seed, std::size_t index,
     return fnv1a(material);
 }
 
+std::uint64_t plan_fingerprint(std::uint64_t campaign_seed,
+                               const std::vector<std::uint64_t>& job_keys) {
+    std::string material = "plan:";
+    material += std::to_string(campaign_seed);
+    material += ':';
+    material += std::to_string(job_keys.size());
+    for (const std::uint64_t key : job_keys) {
+        material += ':';
+        material += std::to_string(key);
+    }
+    return fnv1a(material);
+}
+
 std::string encode_record(std::uint64_t key, const JobSpec& spec,
-                          const JobResult& result) {
+                          const JobResult& result, const ShardStamp& stamp) {
     JsonWriter w;
     w.begin_object();
     w.key("v");
     w.value(kJournalVersion);
     w.key("key");
     w.value(key);
+    if (stamp.plan_fingerprint != 0) {
+        // Shard provenance is additive: records without it (older writers)
+        // still decode, with the stamp left at its "unknown" zeros.
+        w.key("plan");
+        w.value(stamp.plan_fingerprint);
+        w.key("plan_size");
+        w.value(stamp.plan_size);
+        w.key("shard");
+        w.value(stamp.shard_index);
+        w.key("shards");
+        w.value(stamp.shard_total);
+    }
     w.key("spec");
     write_spec(w, spec);
     w.key("result");
@@ -375,6 +400,10 @@ std::optional<Record> decode_record(const std::string& line) {
 
     Record record;
     record.key = key->as_u64();
+    record.stamp.plan_fingerprint = u64_field(*doc, "plan");
+    record.stamp.plan_size = u64_field(*doc, "plan_size");
+    record.stamp.shard_index = u64_field(*doc, "shard");
+    record.stamp.shard_total = u64_field(*doc, "shards", 1);
     auto decoded_spec = spec_from_value(*spec);
     auto decoded_result = result_from_value(*result);
     if (!decoded_spec || !decoded_result) return std::nullopt;

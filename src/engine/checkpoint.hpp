@@ -48,9 +48,26 @@ namespace gshe::engine::checkpoint {
 /// need a bump.
 inline constexpr std::uint64_t kJournalVersion = 1;
 
+/// Shard provenance stamped on every record (additive to version 1): which
+/// plan the job belongs to and which shard's journal it was written into.
+/// merge_journals() refuses to combine journals whose stamps disagree, and
+/// the runner refuses to resume a journal stamped by a different shard of
+/// the same plan — both fail loudly instead of silently interleaving
+/// experiments. plan_fingerprint == 0 marks a record written before
+/// sharding existed (resume still works: keys carry identity).
+struct ShardStamp {
+    std::uint64_t plan_fingerprint = 0;  ///< JobPlan::fingerprint; 0 = unknown
+    std::uint64_t plan_size = 0;         ///< full plan size, all shards
+    std::uint64_t shard_index = 0;
+    std::uint64_t shard_total = 1;
+
+    friend bool operator==(const ShardStamp&, const ShardStamp&) = default;
+};
+
 /// One journal line.
 struct Record {
     std::uint64_t key = 0;  ///< job_key() of (campaign seed, index, spec)
+    ShardStamp stamp;       ///< shard/plan provenance (zeros on old journals)
     JobSpec spec;           ///< the job as scheduled (self-description)
     JobResult result;       ///< the completed job
     std::string line;       ///< the encoded JSONL line (no trailing newline)
@@ -68,9 +85,17 @@ std::string spec_json(const JobSpec& spec);
 std::uint64_t job_key(std::uint64_t campaign_seed, std::size_t index,
                       const JobSpec& spec);
 
+/// Deterministic identity of a whole plan: FNV-1a over the campaign seed,
+/// the plan size and every job key in matrix order. Any change to the
+/// matrix — a job added, removed, reordered or respecified, or a different
+/// campaign seed — changes the fingerprint.
+std::uint64_t plan_fingerprint(std::uint64_t campaign_seed,
+                               const std::vector<std::uint64_t>& job_keys);
+
 /// Encodes one journal line (no trailing newline).
 std::string encode_record(std::uint64_t key, const JobSpec& spec,
-                          const JobResult& result);
+                          const JobResult& result,
+                          const ShardStamp& stamp = {});
 
 /// Decodes one journal line. Unknown fields are ignored (forward
 /// compatibility); std::nullopt on malformed JSON, a missing required

@@ -1,0 +1,243 @@
+#include "engine/merge.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+
+namespace gshe::engine {
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/// "3 items: 1, 4, 7" with a cap so a wholly missing shard does not dump
+/// thousands of indices into one diagnostic.
+std::string list_indices(const std::vector<std::uint64_t>& indices) {
+    constexpr std::size_t kMax = 20;
+    std::string out = std::to_string(indices.size()) + " job(s): ";
+    for (std::size_t i = 0; i < indices.size() && i < kMax; ++i) {
+        if (i) out += ", ";
+        out += std::to_string(indices[i]);
+    }
+    if (indices.size() > kMax) out += ", ...";
+    return out;
+}
+
+}  // namespace
+
+ShardJournal load_shard_journal(const std::string& path,
+                                std::vector<std::string>& errors) {
+    ShardJournal journal;
+    journal.path = path;
+    journal.records = checkpoint::load_journal(path);
+    if (journal.records.empty()) {
+        // Distinguish the three zero-record cases: a typo'd path and a
+        // fully corrupted file are errors; a genuinely empty file is a
+        // legitimate shard that owned no plan jobs (more shards than jobs)
+        // or completed none — the completeness check decides whether the
+        // plan misses anything.
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(path, ec);
+        if (ec)
+            errors.push_back("journal " + path + ": cannot read (" +
+                             ec.message() + ")");
+        else if (size != 0)
+            errors.push_back("journal " + path +
+                             ": no readable records (every line corrupt?)");
+        return journal;
+    }
+    bool stamped = true;
+    for (const auto& record : journal.records) {
+        if (record.stamp.plan_fingerprint == 0) {
+            errors.push_back(
+                "journal " + path + ": record key " + hex(record.key) +
+                " carries no plan fingerprint (written by a pre-sharding "
+                "runner?); re-run the shard to restamp it");
+            stamped = false;
+        }
+    }
+    if (!stamped) return journal;
+    journal.stamp = journal.records.front().stamp;
+    // Sanity before any arithmetic on the stamp: shard_total feeds modulo
+    // operations downstream, so a corrupt 0 must become a diagnostic here,
+    // not a SIGFPE there.
+    if (journal.stamp.shard_total == 0 ||
+        journal.stamp.shard_index >= journal.stamp.shard_total ||
+        journal.stamp.plan_size == 0) {
+        errors.push_back(
+            "journal " + path + ": invalid shard stamp (shard " +
+            std::to_string(journal.stamp.shard_index) + "/" +
+            std::to_string(journal.stamp.shard_total) + ", plan size " +
+            std::to_string(journal.stamp.plan_size) + ")");
+        return journal;
+    }
+    for (const auto& record : journal.records) {
+        const auto& s = record.stamp;
+        if (s.plan_fingerprint != journal.stamp.plan_fingerprint ||
+            s.plan_size != journal.stamp.plan_size ||
+            s.shard_index != journal.stamp.shard_index ||
+            s.shard_total != journal.stamp.shard_total) {
+            errors.push_back("journal " + path + ": record key " +
+                             hex(record.key) + " is stamped plan " +
+                             hex(s.plan_fingerprint) + " shard " +
+                             std::to_string(s.shard_index) + "/" +
+                             std::to_string(s.shard_total) +
+                             " but the file opened as plan " +
+                             hex(journal.stamp.plan_fingerprint) + " shard " +
+                             std::to_string(journal.stamp.shard_index) + "/" +
+                             std::to_string(journal.stamp.shard_total) +
+                             " (mixed journals?)");
+        }
+    }
+    return journal;
+}
+
+MergeReport merge_journals(const std::vector<std::string>& paths) {
+    MergeReport report;
+    if (paths.empty()) {
+        report.errors.push_back("no journals to merge");
+        return report;
+    }
+
+    std::vector<ShardJournal> journals;
+    journals.reserve(paths.size());
+    for (const auto& path : paths)
+        journals.push_back(load_shard_journal(path, report.errors));
+    if (!report.ok()) return report;
+
+    // Empty journals (a shard that owned or completed nothing) carry no
+    // stamp and claim no shard; the completeness check below decides
+    // whether anything is actually missing.
+    const ShardJournal* lead_journal = nullptr;
+    for (const auto& journal : journals)
+        if (!journal.records.empty()) {
+            lead_journal = &journal;
+            break;
+        }
+    if (!lead_journal) {
+        report.errors.push_back("no records in any journal; nothing to merge");
+        return report;
+    }
+
+    // Cross-journal consensus: one plan, one shard count, each shard once.
+    const checkpoint::ShardStamp& lead = lead_journal->stamp;
+    for (const auto& journal : journals) {
+        if (journal.records.empty()) continue;
+        if (journal.stamp.plan_fingerprint != lead.plan_fingerprint ||
+            journal.stamp.plan_size != lead.plan_size)
+            report.errors.push_back(
+                "plan fingerprint mismatch: journal " + lead_journal->path +
+                " holds plan " + hex(lead.plan_fingerprint) + " (" +
+                std::to_string(lead.plan_size) + " jobs) but journal " +
+                journal.path + " holds plan " +
+                hex(journal.stamp.plan_fingerprint) + " (" +
+                std::to_string(journal.stamp.plan_size) +
+                " jobs); these are different campaigns");
+        if (journal.stamp.shard_total != lead.shard_total)
+            report.errors.push_back(
+                "shard count mismatch: journal " + lead_journal->path +
+                " was cut " + std::to_string(lead.shard_total) +
+                " ways but journal " + journal.path + " was cut " +
+                std::to_string(journal.stamp.shard_total) + " ways");
+    }
+    if (!report.ok()) return report;
+
+    std::map<std::uint64_t, const ShardJournal*> by_shard;
+    for (const auto& journal : journals) {
+        if (journal.records.empty()) continue;
+        const auto [it, inserted] =
+            by_shard.emplace(journal.stamp.shard_index, &journal);
+        if (!inserted)
+            report.errors.push_back(
+                "duplicate shard " + std::to_string(journal.stamp.shard_index) +
+                "/" + std::to_string(lead.shard_total) + ": journals " +
+                it->second->path + " and " + journal.path);
+    }
+    if (!report.ok()) return report;
+
+    // Placement + coverage: every record in its owning shard's journal,
+    // every plan index covered exactly once.
+    std::vector<JobResult> results;
+    results.reserve(lead.plan_size);
+    std::set<std::uint64_t> covered;
+    for (const auto& journal : journals) {
+        for (const auto& record : journal.records) {
+            // Same guard as the resume path: an errored record is not
+            // completed work (this engine never journals errors, but a
+            // foreign writer might). Skipping it leaves its index
+            // uncovered, so the completeness diagnostic below names it.
+            if (!record.result.error.empty()) continue;
+            const std::uint64_t index = record.result.index;
+            if (index >= lead.plan_size) {
+                report.errors.push_back(
+                    "journal " + journal.path + ": record key " +
+                    hex(record.key) + " claims job index " +
+                    std::to_string(index) + " outside the " +
+                    std::to_string(lead.plan_size) + "-job plan");
+                continue;
+            }
+            if (index % lead.shard_total != journal.stamp.shard_index) {
+                report.errors.push_back(
+                    "journal " + journal.path + " (shard " +
+                    std::to_string(journal.stamp.shard_index) + "/" +
+                    std::to_string(lead.shard_total) + "): record key " +
+                    hex(record.key) + " for job index " +
+                    std::to_string(index) + " belongs to shard " +
+                    std::to_string(index % lead.shard_total));
+                continue;
+            }
+            if (!covered.insert(index).second) {
+                report.errors.push_back("journal " + journal.path +
+                                        ": duplicate record for job index " +
+                                        std::to_string(index) + " (key " +
+                                        hex(record.key) + ")");
+                continue;
+            }
+            results.push_back(record.result);
+        }
+    }
+
+    // Completeness: report every uncovered index against the shard that
+    // owes it, distinguishing "journal not given" from "journal incomplete"
+    // (the latter includes jobs that errored — errors are never journaled,
+    // so that shard must be re-run before the campaign can merge).
+    std::map<std::uint64_t, std::vector<std::uint64_t>> missing_by_shard;
+    for (std::uint64_t i = 0; i < lead.plan_size; ++i)
+        if (!covered.count(i)) missing_by_shard[i % lead.shard_total].push_back(i);
+    for (const auto& [shard, indices] : missing_by_shard) {
+        const auto it = by_shard.find(shard);
+        if (it == by_shard.end())
+            report.errors.push_back(
+                "no journal given for shard " + std::to_string(shard) + "/" +
+                std::to_string(lead.shard_total) +
+                " (or its journal is empty), which owns " +
+                list_indices(indices));
+        else
+            report.errors.push_back(
+                "journal " + it->second->path + " (shard " +
+                std::to_string(shard) + "/" + std::to_string(lead.shard_total) +
+                ") is missing " + list_indices(indices) +
+                " — incomplete run, or the jobs errored (errors are never "
+                "journaled); re-run that shard with --resume");
+    }
+    if (!report.ok()) return report;
+
+    // One shared aggregation path with the live runner: byte-identical CSV
+    // by construction, not by parallel evolution.
+    report.result = aggregate_results(std::move(results), /*threads=*/0,
+                                      /*wall_seconds=*/0.0);
+    report.result.shard = ShardSpec{0, 1};  // the merged whole
+    report.result.plan_size = lead.plan_size;
+    report.result.plan_fingerprint = lead.plan_fingerprint;
+    return report;
+}
+
+}  // namespace gshe::engine

@@ -1,0 +1,57 @@
+#pragma once
+// Deterministic merge of sharded campaign journals.
+//
+// A sharded campaign (run_campaign --shard=i/N, one checkpoint journal per
+// shard) leaves K JSONL journals, each holding the finished jobs of one
+// round-robin slice of one plan. merge_journals() combines them back into a
+// single CampaignResult — through the same engine::aggregate_results() path
+// a live run uses, so the merged deterministic CSV is byte-identical to
+// what an unsharded --threads=1 run of the same plan emits.
+//
+// The merge trusts nothing: every journal must carry a consistent shard
+// stamp (plan fingerprint, plan size, shard id), all journals must agree on
+// the fingerprint and shard count, each shard may appear only once, every
+// record must sit in the journal of the shard that owns its index, and the
+// union of records must cover the full plan. Any violation is reported as a
+// human-readable diagnostic naming the offending journal, shard and job
+// keys/indices — mismatched plans fail loudly, never silently interleave.
+// (A job that *errored* is never journaled, so an incomplete shard also
+// surfaces here, as missing indices.)
+
+#include <string>
+#include <vector>
+
+#include "engine/campaign.hpp"
+#include "engine/checkpoint.hpp"
+
+namespace gshe::engine {
+
+/// One loaded shard journal plus its consensus provenance.
+struct ShardJournal {
+    std::string path;
+    checkpoint::ShardStamp stamp;  ///< shared by every record in the file
+    std::vector<checkpoint::Record> records;
+};
+
+/// Loads one journal and checks its internal consistency (non-empty, every
+/// record stamped, one stamp per file). Violations are appended to
+/// `errors`; the journal is still returned for best-effort reporting.
+ShardJournal load_shard_journal(const std::string& path,
+                                std::vector<std::string>& errors);
+
+struct MergeReport {
+    /// Valid only when ok(): the full campaign in matrix order
+    /// (threads == 0 marks a merged, not executed, result).
+    CampaignResult result;
+    /// Human-readable diagnostics; empty on success.
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+};
+
+/// Merges K shard journals (any order; K == 1 handles an unsharded journal
+/// too) into the full campaign result. On any inconsistency the report
+/// carries diagnostics instead of a result.
+MergeReport merge_journals(const std::vector<std::string>& paths);
+
+}  // namespace gshe::engine

@@ -145,6 +145,12 @@ std::string campaign_summary(const CampaignResult& result) {
                   result.jobs.size(), result.threads, result.succeeded(),
                   timed_out, result.errored(), result.wall_seconds);
     std::string summary = buf;
+    if (result.shard.is_sharded()) {
+        std::snprintf(buf, sizeof buf, "shard %s (%zu of %zu plan jobs): ",
+                      result.shard.label().c_str(), result.jobs.size(),
+                      result.plan_size);
+        summary = buf + summary;
+    }
     if (result.resumed > 0) {
         std::snprintf(buf, sizeof buf, " (%zu resumed from checkpoint)",
                       result.resumed);

@@ -8,6 +8,7 @@
 #include "common/ascii_table.hpp"
 #include "common/env.hpp"
 #include "common/histogram.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/timer.hpp"
@@ -293,6 +294,38 @@ TEST(Timer, MeasuresNonNegativeMonotonicTime) {
     EXPECT_GE(b, a);
     t.reset();
     EXPECT_LT(t.seconds(), 1.0);
+}
+
+// ---- strict numeric parsing (CLI flag values) -------------------------------
+
+TEST(Parse, U64AcceptsOnlyCompleteDecimalNumbers) {
+    EXPECT_EQ(parse_u64("0"), 0u);
+    EXPECT_EQ(parse_u64("42"), 42u);
+    EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+    for (const char* bad : {"", "abc", "12abc", "abc12", " 12", "12 ", "-1",
+                            "+1", "1.5", "0x10", "18446744073709551616",
+                            "99999999999999999999"})
+        EXPECT_FALSE(parse_u64(bad).has_value()) << bad;
+}
+
+TEST(Parse, I64HandlesTheFullRangeIncludingMin) {
+    EXPECT_EQ(parse_i64("0"), 0);
+    EXPECT_EQ(parse_i64("-1"), -1);
+    EXPECT_EQ(parse_i64("9223372036854775807"), INT64_MAX);
+    EXPECT_EQ(parse_i64("-9223372036854775808"), INT64_MIN);
+    for (const char* bad : {"", "-", "--1", "9223372036854775808",
+                            "-9223372036854775809", "1e3", "two"})
+        EXPECT_FALSE(parse_i64(bad).has_value()) << bad;
+}
+
+TEST(Parse, DoubleAcceptsFiniteNumbersOnly) {
+    EXPECT_DOUBLE_EQ(*parse_double("0.5"), 0.5);
+    EXPECT_DOUBLE_EQ(*parse_double("-2"), -2.0);
+    EXPECT_DOUBLE_EQ(*parse_double("1e-3"), 1e-3);
+    EXPECT_DOUBLE_EQ(*parse_double(".25"), 0.25);
+    for (const char* bad : {"", "abc", "1.5x", " 1.5", "1.5 ", "inf", "-inf",
+                            "nan", "1e999", "e5", "0x10", "-0X1p3"})
+        EXPECT_FALSE(parse_double(bad).has_value()) << bad;
 }
 
 }  // namespace

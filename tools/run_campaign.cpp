@@ -1,6 +1,6 @@
-// run_campaign — the campaign engine's CLI: schedules a
-// {circuit x defense x attack x seed} job matrix across a thread pool and
-// writes structured reports.
+// run_campaign — the campaign engine's CLI: plans a
+// {circuit x defense x attack x seed} job matrix, executes this process's
+// shard of it across a thread pool, and writes structured reports.
 //
 // The default matrix is 2 circuits x 3 defenses x 2 attacks x 2 seeds =
 // 24 jobs. Attacks are budgeted with the deterministic conflict cap
@@ -18,6 +18,15 @@
 //   run_campaign --checkpoint=c.jsonl --csv=out.csv     # SIGKILL mid-run...
 //   run_campaign --checkpoint=c.jsonl --resume --csv=out.csv
 //
+// And shardable across processes/machines: --shard=i/N executes only the
+// plan indices j with j % N == i (preview the partition with --dry-run),
+// each shard journaling to its own file; merge_campaign recombines the
+// journals into the CSV an unsharded run would have produced:
+//
+//   run_campaign --shard=0/2 --checkpoint=s0.jsonl &
+//   run_campaign --shard=1/2 --checkpoint=s1.jsonl &
+//   wait && merge_campaign --csv=out.csv s0.jsonl s1.jsonl
+//
 // Examples:
 //   run_campaign                                # default matrix, CSV to stdout
 //   run_campaign --threads=0 --json=full.json   # all cores, full JSON record
@@ -25,13 +34,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "attack/attack.hpp"
+#include "common/parse.hpp"
 #include "common/report.hpp"
 #include "sat/backend.hpp"
 #include "engine/campaign.hpp"
+#include "engine/checkpoint.hpp"
 #include "engine/defense.hpp"
 #include "engine/report.hpp"
 #include "netlist/corpus.hpp"
@@ -70,10 +83,12 @@ struct Cli {
     std::uint64_t max_conflicts = 50000;
     double timeout_seconds = 3600.0;
     std::uint64_t campaign_seed = 0x6a0b5eed;
+    ShardSpec shard;
     std::string csv_path = "-";
     std::string json_path;
     std::string checkpoint_path;
     bool resume = false;
+    bool dry_run = false;
     bool timing = false;
     bool quiet = false;
 };
@@ -97,12 +112,18 @@ void usage() {
         "  --max-conflicts=N  deterministic solver budget (default 50000)\n"
         "  --timeout=S        wall-clock safety timeout per attack (default 3600)\n"
         "  --campaign-seed=N  campaign-level seed\n"
+        "  --shard=i/N        execute only plan indices j with j %% N == i\n"
+        "                     (one process of an N-way sharded campaign;\n"
+        "                     combine the shard journals with merge_campaign)\n"
+        "  --dry-run          print the planned job table (index, circuit,\n"
+        "                     defense, attack, seed, shard owner) and exit —\n"
+        "                     the operator's sharding preview\n"
         "  --csv=PATH         CSV report destination ('-' = stdout, default)\n"
         "  --json=PATH        full JSON report (includes timing; not\n"
         "                     byte-reproducible)\n"
         "  --checkpoint=PATH  journal each finished job to PATH (JSONL,\n"
         "                     atomic write-then-rename) so an interrupted\n"
-        "                     campaign can be resumed\n"
+        "                     campaign can be resumed; one journal per shard\n"
         "  --resume           load PATH, skip already-completed jobs, and\n"
         "                     merge their cached results; the final CSV is\n"
         "                     byte-identical to an uninterrupted run\n"
@@ -132,6 +153,62 @@ void list_choices() {
     }
 }
 
+// ---- strict flag parsing ----------------------------------------------------
+// Every numeric flag goes through parse_u64/parse_i64/parse_double: a value
+// the helpers reject (or one outside the flag's documented range) is a
+// usage error naming the flag and the offending text — never a silent 0
+// the way atoi("abc") was.
+
+[[noreturn]] void flag_error(const char* flag, const std::string& value,
+                             const char* expected) {
+    std::fprintf(stderr, "run_campaign: invalid value for %s: '%s' (%s)\n",
+                 flag, value.c_str(), expected);
+    std::exit(2);
+}
+
+int int_flag(const char* flag, const std::string& value, int min_value,
+             int max_value) {
+    const auto parsed = parse_i64(value);
+    if (!parsed || *parsed < min_value || *parsed > max_value)
+        flag_error(flag, value,
+                   ("expected an integer in [" + std::to_string(min_value) +
+                    ", " + std::to_string(max_value) + "]")
+                       .c_str());
+    return static_cast<int>(*parsed);
+}
+
+std::uint64_t u64_flag(const char* flag, const std::string& value) {
+    const auto parsed = parse_u64(value);
+    if (!parsed) flag_error(flag, value, "expected an unsigned integer");
+    return *parsed;
+}
+
+double double_flag(const char* flag, const std::string& value,
+                   double min_value, double max_value) {
+    const auto parsed = parse_double(value);
+    if (!parsed || *parsed < min_value || *parsed > max_value)
+        flag_error(flag, value,
+                   ("expected a number in [" + std::to_string(min_value) +
+                    ", " + std::to_string(max_value) + "]")
+                       .c_str());
+    return *parsed;
+}
+
+ShardSpec shard_flag(const std::string& value) {
+    const std::size_t slash = value.find('/');
+    const auto index = slash == std::string::npos
+                           ? std::nullopt
+                           : parse_u64(value.substr(0, slash));
+    const auto total = slash == std::string::npos
+                           ? std::nullopt
+                           : parse_u64(value.substr(slash + 1));
+    if (!index || !total || *total == 0 || *index >= *total)
+        flag_error("--shard", value,
+                   "expected i/N with 0 <= i < N, e.g. --shard=0/4");
+    return ShardSpec{static_cast<std::size_t>(*index),
+                     static_cast<std::size_t>(*total)};
+}
+
 bool parse(Cli& cli, int argc, char** argv, bool& exit_ok) {
     exit_ok = false;
     for (int i = 1; i < argc; ++i) {
@@ -153,26 +230,48 @@ bool parse(Cli& cli, int argc, char** argv, bool& exit_ok) {
         if (arg == "--timing") { cli.timing = true; continue; }
         if (arg == "--quiet") { cli.quiet = true; continue; }
         if (arg == "--resume") { cli.resume = true; continue; }
+        if (arg == "--dry-run") { cli.dry_run = true; continue; }
         if (arg.find('=') == std::string::npos) return false;
-        if (starts("--threads=")) cli.threads = std::atoi(val().c_str());
+        if (starts("--threads=")) cli.threads = int_flag("--threads", val(), 0, 4096);
         else if (starts("--circuits=")) cli.circuits = split(val(), ',');
         else if (starts("--defenses=")) cli.defenses = split(val(), ',');
         else if (starts("--attacks=")) cli.attacks = split(val(), ',');
         else if (starts("--solver=")) cli.solver = val();
-        else if (starts("--seeds=")) cli.n_seeds = std::atoi(val().c_str());
-        else if (starts("--fraction=")) cli.fraction = std::atof(val().c_str());
+        else if (starts("--seeds=")) cli.n_seeds = int_flag("--seeds", val(), 1, 1 << 20);
+        else if (starts("--fraction=")) cli.fraction = double_flag("--fraction", val(), 0.0, 1.0);
         else if (starts("--library=")) cli.library = val();
-        else if (starts("--sarlock-bits=")) cli.sarlock_bits = std::atoi(val().c_str());
-        else if (starts("--accuracy=")) cli.accuracy = std::atof(val().c_str());
-        else if (starts("--max-conflicts=")) cli.max_conflicts = std::strtoull(val().c_str(), nullptr, 10);
-        else if (starts("--timeout=")) cli.timeout_seconds = std::atof(val().c_str());
-        else if (starts("--campaign-seed=")) cli.campaign_seed = std::strtoull(val().c_str(), nullptr, 10);
+        else if (starts("--sarlock-bits=")) cli.sarlock_bits = int_flag("--sarlock-bits", val(), 1, 64);
+        else if (starts("--accuracy=")) cli.accuracy = double_flag("--accuracy", val(), 0.0, 1.0);
+        else if (starts("--max-conflicts=")) cli.max_conflicts = u64_flag("--max-conflicts", val());
+        else if (starts("--timeout=")) cli.timeout_seconds = double_flag("--timeout", val(), 0.0, 1e9);
+        else if (starts("--campaign-seed=")) cli.campaign_seed = u64_flag("--campaign-seed", val());
+        else if (starts("--shard=")) cli.shard = shard_flag(val());
         else if (starts("--csv=")) cli.csv_path = val();
         else if (starts("--json=")) cli.json_path = val();
         else if (starts("--checkpoint=")) cli.checkpoint_path = val();
         else return false;
     }
     return true;
+}
+
+/// --dry-run: the plan as the operator will shard it — one row per job with
+/// the shard that owns it, '*' marking the rows this invocation would run.
+void print_plan(const JobPlan& plan, const ShardSpec& shard) {
+    std::printf("%5s  %-10s %-28s %-11s %5s  %-6s\n", "index", "circuit",
+                "defense", "attack", "seed", "shard");
+    for (const auto& job : plan.jobs) {
+        const ShardSpec owner{job.index % shard.total, shard.total};
+        std::printf("%5zu  %-10s %-28s %-11s %5llu  %-6s%s\n", job.index,
+                    job.spec.circuit.c_str(), job.spec.defense.label().c_str(),
+                    job.spec.attack.c_str(),
+                    static_cast<unsigned long long>(job.spec.seed),
+                    owner.label().c_str(),
+                    shard.contains(job.index) ? " *" : "");
+    }
+    std::printf("plan: %zu jobs, fingerprint 0x%016llx; shard %s runs %zu\n",
+                plan.size(),
+                static_cast<unsigned long long>(plan.fingerprint),
+                shard.label().c_str(), plan.shard_indices(shard).size());
 }
 
 }  // namespace
@@ -231,15 +330,38 @@ int main(int argc, char** argv) {
         return 2;
     }
 
+    const JobPlan plan = plan_jobs(jobs, cli.campaign_seed);
+    if (cli.dry_run) {
+        print_plan(plan, cli.shard);
+        return 0;
+    }
+    // Progress denominator = jobs that will actually execute: on a resume,
+    // key-matched error-free journal records satisfy their slots without
+    // firing the progress hook, so count them out up front (same matching
+    // rule the runner applies).
+    std::size_t fresh_jobs = 0;
+    if (!cli.quiet) {  // only the progress hook consumes the count
+        std::unordered_set<std::uint64_t> completed;
+        if (cli.resume)
+            for (const auto& record :
+                 engine::checkpoint::load_journal(cli.checkpoint_path))
+                if (record.result.error.empty())
+                    completed.insert(record.key);
+        for (const std::size_t i : plan.shard_indices(cli.shard))
+            if (!completed.count(plan.jobs[i].key)) ++fresh_jobs;
+    }
+
     CampaignOptions options;
     options.threads = cli.threads;
     options.campaign_seed = cli.campaign_seed;
+    options.shard = cli.shard;
     options.checkpoint_path = cli.checkpoint_path;
     options.resume_from_checkpoint = cli.resume;
-    if (!cli.quiet)
+    std::size_t done = 0;  // progress counter; referenced only during run()
+    if (!cli.quiet) {
         options.on_job_done = [&](const JobResult& j) {
-            std::fprintf(stderr, "[%3zu/%zu] %-8s %-28s %-10s seed=%llu  %s\n",
-                         j.index + 1, jobs.size(), j.circuit.c_str(),
+            std::fprintf(stderr, "[%3zu/%zu] #%-3zu %-8s %-28s %-10s seed=%llu  %s\n",
+                         ++done, fresh_jobs, j.index, j.circuit.c_str(),
                          j.defense.c_str(), j.attack.c_str(),
                          static_cast<unsigned long long>(j.spec_seed),
                          j.error.empty()
@@ -247,11 +369,12 @@ int main(int argc, char** argv) {
                                    .c_str()
                              : j.error.c_str());
         };
+    }
 
     const CampaignRunner runner(options);
     CampaignResult result;
     try {
-        result = runner.run(jobs);
+        result = runner.run(plan);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "campaign failed: %s\n", e.what());
         return 1;

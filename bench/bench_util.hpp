@@ -103,6 +103,78 @@ inline void write_solver_bench_json(const std::string& path,
     std::printf("wrote %s (%zu jobs)\n", path.c_str(), campaign.jobs.size());
 }
 
+/// Perf-trajectory hook for the oracle query memo: one record per cache
+/// mode (off/on), each summing the campaign's logical oracle batches, the
+/// batches that actually reached the simulator, and memo hit/miss counts,
+/// plus wall-seconds. Successive runs are comparable by the "mode" key.
+/// Wall-clock fields are measured, not derived, so the file is *not*
+/// byte-reproducible; the count fields are.
+struct OracleCacheModeSummary {
+    std::string mode;                  ///< "off" | "on"
+    double wall_seconds = 0.0;
+    std::uint64_t batches_logical = 0;    ///< queries attacks issued
+    std::uint64_t batches_evaluated = 0;  ///< queries that paid a simulation
+    std::uint64_t patterns_logical = 0;   ///< per-job OracleStats::patterns
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t bypassed = 0;
+};
+
+inline OracleCacheModeSummary summarize_cache_mode(
+    const std::string& mode, const engine::CampaignResult& campaign) {
+    OracleCacheModeSummary s;
+    s.mode = mode;
+    s.wall_seconds = campaign.wall_seconds;
+    for (const engine::JobResult& j : campaign.jobs) {
+        s.batches_logical += j.oracle_cache.logical();
+        s.batches_evaluated += j.oracle_cache.evaluated();
+        s.patterns_logical += j.oracle_stats.patterns;
+        s.cache_hits += j.oracle_cache.hits;
+        s.cache_misses += j.oracle_cache.misses;
+        s.bypassed += j.oracle_cache.bypassed;
+    }
+    return s;
+}
+
+inline void write_oracle_cache_bench_json(
+    const std::string& path, const std::vector<OracleCacheModeSummary>& modes,
+    std::size_t jobs, std::size_t shared_groups) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("bench");
+    w.value("oracle_cache");
+    w.key("jobs");
+    w.value(static_cast<std::uint64_t>(jobs));
+    w.key("shared_groups");
+    w.value(static_cast<std::uint64_t>(shared_groups));
+    w.key("modes");
+    w.begin_array();
+    for (const OracleCacheModeSummary& s : modes) {
+        w.begin_object();
+        w.key("mode");
+        w.value(s.mode);
+        w.key("wall_seconds");
+        w.value(s.wall_seconds);
+        w.key("oracle_batches_logical");
+        w.value(s.batches_logical);
+        w.key("oracle_batches_evaluated");
+        w.value(s.batches_evaluated);
+        w.key("oracle_patterns_logical");
+        w.value(s.patterns_logical);
+        w.key("cache_hits");
+        w.value(s.cache_hits);
+        w.key("cache_misses");
+        w.value(s.cache_misses);
+        w.key("bypassed");
+        w.value(s.bypassed);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    write_text_file(path, w.str() + "\n");
+    std::printf("wrote %s (%zu modes)\n", path.c_str(), modes.size());
+}
+
 inline void banner(const char* id, const char* title) {
     std::printf("\n================================================================\n");
     std::printf("%s — %s\n", id, title);

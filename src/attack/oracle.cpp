@@ -21,6 +21,18 @@ void OracleStats::record(std::uint64_t batch_patterns, bool single,
     ++batch_log2_hist[bucket];
 }
 
+const std::string& oracle_contract_name(OracleContract contract) {
+    static const std::string deterministic = "deterministic";
+    static const std::string epoch_keyed = "epoch_keyed";
+    static const std::string non_cacheable = "non_cacheable";
+    switch (contract) {
+        case OracleContract::Deterministic: return deterministic;
+        case OracleContract::EpochKeyed: return epoch_keyed;
+        case OracleContract::NonCacheable: return non_cacheable;
+    }
+    return non_cacheable;
+}
+
 std::vector<std::uint64_t> Oracle::query(
     std::span<const std::uint64_t> pi_words) {
     Timer timer;
@@ -43,7 +55,7 @@ std::vector<bool> Oracle::query_single(const std::vector<bool>& pi) {
 
 std::vector<std::uint64_t> ExactOracle::evaluate(
     std::span<const std::uint64_t> pi_words) {
-    return sim_.run(pi_words);
+    return simulator().run(pi_words);
 }
 
 StochasticOracle::StochasticOracle(const netlist::Netlist& camo_nl,
@@ -55,7 +67,7 @@ StochasticOracle::StochasticOracle(const netlist::Netlist& camo_nl,
 StochasticOracle::StochasticOracle(const netlist::Netlist& camo_nl,
                                    std::vector<double> per_device_accuracy,
                                    std::uint64_t seed)
-    : nl_(&camo_nl), sim_(camo_nl), accuracy_(std::move(per_device_accuracy)),
+    : SimulatorOracle(camo_nl), accuracy_(std::move(per_device_accuracy)),
       rng_(seed ^ 0x570c4a57ULL) {
     if (accuracy_.size() != camo_nl.camo_cells().size())
         throw std::invalid_argument(
@@ -76,7 +88,7 @@ std::vector<std::uint64_t> StochasticOracle::evaluate(
             if (rng_.bernoulli(err)) m |= std::uint64_t{1} << b;
         masks[d] = m;
     }
-    return sim_.run_noisy(pi_words, masks);
+    return simulator().run_noisy(pi_words, masks);
 }
 
 }  // namespace gshe::attack

@@ -7,7 +7,7 @@ namespace gshe::camo {
 RekeyingOracle::RekeyingOracle(const netlist::Netlist& camo_nl,
                                std::uint64_t interval, double scramble_frac,
                                double duty_true, std::uint64_t seed)
-    : nl_(&camo_nl), sim_(camo_nl), interval_(interval),
+    : SimulatorOracle(camo_nl), interval_(interval),
       scramble_frac_(scramble_frac), duty_true_(duty_true),
       rng_(seed ^ 0xd1aULL) {
     if (scramble_frac < 0.0 || scramble_frac > 1.0)
@@ -25,10 +25,10 @@ void RekeyingOracle::maybe_advance_epoch() {
     queries_in_epoch_ = 0;
     ++epoch_;
     true_mode_ = rng_.bernoulli(duty_true_);
-    const auto& cells = nl_->camo_cells();
+    const auto& cells = netlist().camo_cells();
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (true_mode_ || !rng_.bernoulli(scramble_frac_)) {
-            current_fns_[i] = nl_->gate(cells[i].gate).fn;  // authorized mode
+            current_fns_[i] = netlist().gate(cells[i].gate).fn;  // authorized
         } else {
             const auto& cand = cells[i].candidates;
             current_fns_[i] = cand[rng_.below(cand.size())];
@@ -38,9 +38,11 @@ void RekeyingOracle::maybe_advance_epoch() {
 
 std::vector<std::uint64_t> RekeyingOracle::evaluate(
     std::span<const std::uint64_t> pi_words) {
+    // A no-op when cache_epoch() already ran the boundary for this query
+    // (maybe_advance_epoch is idempotent until the clock ticks below).
     maybe_advance_epoch();
     ++queries_in_epoch_;
-    return sim_.run_with_functions(pi_words, current_fns_);
+    return simulator().run_with_functions(pi_words, current_fns_);
 }
 
 }  // namespace gshe::camo

@@ -27,7 +27,16 @@
 namespace gshe::camo {
 
 /// Oracle whose camouflaged cells are periodically re-keyed.
-class RekeyingOracle final : public attack::Oracle {
+///
+/// Determinism contract: EpochKeyed. Within one epoch the cell functions
+/// are frozen, so responses are replayable — but only under a memo key that
+/// includes the epoch (a stale epoch's entry must never satisfy a current
+/// query), and only if the query clock keeps ticking on memo hits (the
+/// re-keying schedule counts queries, not evaluations). cache_epoch()
+/// performs the boundary advance the next query would trigger and returns
+/// the epoch it will run under; on_cache_hit() ticks the clock without
+/// simulating. The memo-on and memo-off response sequences are identical.
+class RekeyingOracle final : public attack::SimulatorOracle {
 public:
     /// @param camo_nl        protected netlist (true functions = mode 0)
     /// @param interval       queries per epoch (0 disables re-keying)
@@ -35,6 +44,15 @@ public:
     /// @param duty_true      fraction of epochs that run the true mode
     RekeyingOracle(const netlist::Netlist& camo_nl, std::uint64_t interval,
                    double scramble_frac, double duty_true, std::uint64_t seed);
+
+    attack::OracleContract contract() const override {
+        return attack::OracleContract::EpochKeyed;
+    }
+    std::uint64_t cache_epoch() override {
+        maybe_advance_epoch();
+        return epoch_;
+    }
+    void on_cache_hit() override { ++queries_in_epoch_; }
 
     std::uint64_t epochs_elapsed() const override { return epoch_; }
 
@@ -45,8 +63,6 @@ protected:
 private:
     void maybe_advance_epoch();
 
-    const netlist::Netlist* nl_;
-    netlist::Simulator sim_;
     std::uint64_t interval_;
     double scramble_frac_;
     double duty_true_;

@@ -1,0 +1,39 @@
+#pragma once
+// The one FNV-1a implementation every identity hash in the repo uses —
+// checkpoint job keys and plan fingerprints, defense-instance fingerprints,
+// and the oracle query-memo keys. These hashes are persisted (journals) or
+// must agree across processes (shards), so all sites share these exact
+// constants and byte order; a drifting copy would silently break
+// journal/fingerprint compatibility.
+
+#include <cstdint>
+#include <string_view>
+
+namespace gshe {
+
+inline constexpr std::uint64_t kFnv1aOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// Folds one byte into a running FNV-1a state.
+constexpr std::uint64_t fnv1a_byte(std::uint64_t h, unsigned char byte) {
+    return (h ^ byte) * kFnv1aPrime;
+}
+
+/// Folds a 64-bit word, least-significant byte first (the order the
+/// oracle-memo keys were defined with).
+constexpr std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+        h = fnv1a_byte(h, static_cast<unsigned char>(v & 0xffu));
+        v >>= 8;
+    }
+    return h;
+}
+
+/// FNV-1a over a byte string, continuing from `h` (chainable).
+constexpr std::uint64_t fnv1a(std::string_view s,
+                              std::uint64_t h = kFnv1aOffset) {
+    for (const char c : s) h = fnv1a_byte(h, static_cast<unsigned char>(c));
+    return h;
+}
+
+}  // namespace gshe

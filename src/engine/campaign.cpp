@@ -44,6 +44,18 @@ std::vector<std::size_t> JobPlan::shard_indices(const ShardSpec& shard) const {
     return indices;
 }
 
+const DefenseGroup& JobPlan::group_of(std::size_t job_index) const {
+    if (job_index >= jobs.size())
+        throw std::invalid_argument("group_of: plan index " +
+                                    std::to_string(job_index) +
+                                    " out of range");
+    const std::size_t id = jobs[job_index].group;
+    for (const DefenseGroup& g : groups)
+        if (g.id == id) return g;
+    throw std::logic_error("group_of: plan has no group with id " +
+                           std::to_string(id));
+}
+
 JobPlan plan_jobs(const std::vector<JobSpec>& specs,
                   std::uint64_t campaign_seed) {
     JobPlan plan;
@@ -51,6 +63,11 @@ JobPlan plan_jobs(const std::vector<JobSpec>& specs,
     plan.jobs.reserve(specs.size());
     std::vector<std::uint64_t> keys;
     keys.reserve(specs.size());
+    // Defense-instance grouping: jobs whose fingerprint matches attack a
+    // byte-identical instance, so the executor builds it once and shares
+    // it. Group id = plan index of the first member, making group columns
+    // pure plan data (identical across shards, threads and resumes).
+    std::unordered_map<std::uint64_t, std::size_t> group_by_fingerprint;
     for (std::size_t i = 0; i < specs.size(); ++i) {
         PlannedJob job;
         job.index = i;
@@ -58,6 +75,18 @@ JobPlan plan_jobs(const std::vector<JobSpec>& specs,
         job.key = checkpoint::job_key(campaign_seed, i, specs[i]);
         job.derived_seed =
             CampaignRunner::derive_seed(campaign_seed, i, specs[i].seed);
+        job.defense_fingerprint = defense_fingerprint(
+            specs[i].circuit, specs[i].defense, job.derived_seed, i);
+        const auto [it, fresh] = group_by_fingerprint.emplace(
+            job.defense_fingerprint, plan.groups.size());
+        if (fresh) {
+            DefenseGroup g;
+            g.fingerprint = job.defense_fingerprint;
+            g.id = i;
+            plan.groups.push_back(std::move(g));
+        }
+        plan.groups[it->second].members.push_back(i);
+        job.group = plan.groups[it->second].id;
         keys.push_back(job.key);
         plan.jobs.push_back(std::move(job));
     }
@@ -138,7 +167,24 @@ std::size_t CampaignRunner::resolve_threads(std::size_t jobs) const {
     return std::min(requested, std::max<std::size_t>(jobs, 1));
 }
 
-JobResult CampaignRunner::run_job(const PlannedJob& job) const {
+/// Per-execute() state of one defense-instance sharing group: the instance
+/// and its oracle service, built once by whichever worker reaches the group
+/// first, shared by every member job this call runs, and released when the
+/// last of them finishes (so a long campaign holds only the netlists its
+/// in-flight jobs need).
+struct CampaignRunner::GroupRuntime {
+    const PlannedJob* canonical = nullptr;  ///< the group's first plan member
+    std::size_t plan_members = 1;           ///< group size across the whole plan
+    bool cache_enabled = false;
+    std::once_flag once;
+    std::unique_ptr<DefenseInstance> instance;
+    std::unique_ptr<attack::OracleService> service;
+    std::string build_error;                ///< non-empty: the build threw
+    std::atomic<std::size_t> remaining{0};  ///< member jobs left in this call
+};
+
+JobResult CampaignRunner::run_job(const PlannedJob& job,
+                                  GroupRuntime& group) const {
     Timer timer;
     const JobSpec& spec = job.spec;
     JobResult r;
@@ -149,22 +195,69 @@ JobResult CampaignRunner::run_job(const PlannedJob& job) const {
     r.solver_backend = spec.attack_options.solver_backend;
     r.spec_seed = spec.seed;
     r.derived_seed = job.derived_seed;
+    r.oracle_group = static_cast<std::uint64_t>(job.group);
+    r.oracle_group_size = static_cast<std::uint64_t>(group.plan_members);
     try {
         const attack::Attack& attack = attack::attack_by_name(spec.attack);
-        const netlist::Netlist base = options_.netlist_provider(spec.circuit);
-        DefenseInstance defense =
-            DefenseFactory::build(base, spec.defense, r.derived_seed);
-        r.protected_cells = defense.protected_cells;
-        r.key_bits = defense.key_bits;
+        // Build-once: the group's instance is constructed from its
+        // canonical (first-in-plan) member, which by fingerprint equality
+        // is byte-identical to what this job would have built privately.
+        std::call_once(group.once, [&] {
+            try {
+                const PlannedJob& c = *group.canonical;
+                const netlist::Netlist base =
+                    options_.netlist_provider(c.spec.circuit);
+                group.instance = std::make_unique<DefenseInstance>(
+                    DefenseFactory::build(base, c.spec.defense,
+                                          c.derived_seed));
+                // Prewarm the netlist's lazily built topo/fanout caches
+                // while the group is still single-threaded: member jobs
+                // encode and simulate this netlist concurrently, and the
+                // lazy fill is mutable-under-const with no lock.
+                (void)group.instance->netlist->topological_order();
+                attack::OracleService::Options sopts;
+                sopts.enable_cache = group.cache_enabled;
+                sopts.max_bytes = options_.oracle_cache_bytes;
+                group.service = std::make_unique<attack::OracleService>(
+                    *group.instance->oracle, sopts);
+            } catch (const std::exception& e) {
+                group.build_error = e.what();
+                group.service.reset();
+                group.instance.reset();
+            } catch (...) {
+                group.build_error = "unknown exception";
+                group.service.reset();
+                group.instance.reset();
+            }
+        });
+        if (!group.build_error.empty())
+            throw std::runtime_error(group.build_error);
+        r.protected_cells = group.instance->protected_cells;
+        r.key_bits = group.instance->key_bits;
         attack::AttackOptions options = spec.attack_options;
         options.seed = r.derived_seed;
-        r.result = attack.run(*defense.netlist, *defense.oracle, options);
-        r.oracle_stats = defense.oracle->stats();
-        r.oracle_epochs = defense.oracle->epochs_elapsed();
+        // The client is this job's private view of the shared oracle: the
+        // attack cannot tell it from a dedicated instance, and all metering
+        // (logical queries, epochs, memo hits) is attributed to this job.
+        const std::unique_ptr<attack::OracleService::Client> oracle =
+            group.service->make_client();
+        r.oracle_contract = attack::oracle_contract_name(oracle->contract());
+        r.oracle_cache_enabled = group.service->cache_active();
+        r.result = attack.run(*group.instance->netlist, *oracle, options);
+        r.oracle_stats = oracle->stats();
+        r.oracle_epochs = oracle->epochs_elapsed();
+        r.oracle_cache = oracle->cache_stats();
+        r.oracle_unique = r.oracle_cache.unique_patterns;
     } catch (const std::exception& e) {
         r.error = e.what();
     } catch (...) {
         r.error = "unknown exception";
+    }
+    // Last member out releases the shared instance; memory stays bounded by
+    // the set of groups with in-flight jobs, not by the whole campaign.
+    if (group.remaining.fetch_sub(1) == 1) {
+        group.service.reset();
+        group.instance.reset();
     }
     r.job_seconds = timer.seconds();
     return r;
@@ -180,13 +273,37 @@ std::vector<JobResult> CampaignRunner::execute(
     std::vector<JobResult> out(indices.size());
     const std::size_t threads = resolve_threads(indices.size());
 
+    // One GroupRuntime per sharing group with members in this index subset.
+    // Keyed by group id; membership counts cover only this call (a sharded
+    // or resumed run frees an instance as soon as *its* members finish).
+    std::unordered_map<std::size_t, std::unique_ptr<GroupRuntime>> groups;
+    for (const std::size_t i : indices) {
+        const PlannedJob& job = plan.jobs[i];
+        auto& slot = groups[job.group];
+        if (!slot) {
+            slot = std::make_unique<GroupRuntime>();
+            const DefenseGroup& g = plan.group_of(i);
+            slot->canonical = &plan.jobs[g.id];
+            slot->plan_members = g.members.size();
+            switch (options_.oracle_cache) {
+                case OracleCacheMode::Off: slot->cache_enabled = false; break;
+                case OracleCacheMode::On: slot->cache_enabled = true; break;
+                case OracleCacheMode::Auto:
+                    slot->cache_enabled = g.members.size() > 1;
+                    break;
+            }
+        }
+        slot->remaining.fetch_add(1);
+    }
+
     std::atomic<std::size_t> next{0};
     std::mutex done_mutex;
     auto worker = [&] {
         while (true) {
             const std::size_t slot = next.fetch_add(1);
             if (slot >= indices.size()) break;
-            JobResult r = run_job(plan.jobs[indices[slot]]);
+            const PlannedJob& job = plan.jobs[indices[slot]];
+            JobResult r = run_job(job, *groups.at(job.group));
             if (on_done) {
                 // Serialized, and a throw escaping a worker thread would
                 // std::terminate the whole campaign; progress reporting is

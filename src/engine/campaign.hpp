@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "attack/attack.hpp"
+#include "attack/oracle_service.hpp"
 #include "engine/defense.hpp"
 #include "netlist/netlist.hpp"
 
@@ -76,6 +77,32 @@ struct JobResult {
     /// Re-keying epochs the defense oracle cycled through (dynamic defense;
     /// 0 for epoch-free oracles).
     std::uint64_t oracle_epochs = 0;
+
+    // ---- oracle-service / query-memo fields (PR 5) --------------------------
+    // The first four are pure functions of the plan and the job's own query
+    // stream — deterministic at any thread/shard count with the memo on or
+    // off — and ride the deterministic CSV. oracle_cache (hit/miss/byte
+    // counters) depends on which sibling job populated the shared memo
+    // first, so like wall-clock it rides only the JSON report and the
+    // checkpoint journal.
+    /// Declared determinism contract of the oracle this job attacked
+    /// (attack::oracle_contract_name); empty when the job errored before a
+    /// defense instance was built.
+    std::string oracle_contract;
+    /// Defense-instance sharing group: the plan index of the group's first
+    /// member (the job whose seed the shared instance is built from).
+    std::uint64_t oracle_group = 0;
+    /// Plan-level member count of that group (1 = this job's instance is
+    /// private).
+    std::uint64_t oracle_group_size = 1;
+    /// Distinct memo keys in this job's own query sequence — the within-job
+    /// redundancy the memo can reclaim (0 for non-cacheable oracles).
+    std::uint64_t oracle_unique = 0;
+    /// Whether the query memo was active for this job's group.
+    bool oracle_cache_enabled = false;
+    /// Measured memo counters for this job (scheduling-dependent).
+    attack::OracleCacheStats oracle_cache;
+
     double job_seconds = 0.0;  ///< wall clock incl. netlist/defense build
     std::string error;         ///< non-empty: the job threw; result is default
 };
@@ -104,6 +131,22 @@ struct PlannedJob {
     JobSpec spec;
     std::uint64_t key = 0;           ///< checkpoint::job_key(seed, index, spec)
     std::uint64_t derived_seed = 0;  ///< CampaignRunner::derive_seed(...)
+    /// engine::defense_fingerprint(...): identity of the defense instance
+    /// this job attacks. Equal fingerprints => byte-identical instances.
+    std::uint64_t defense_fingerprint = 0;
+    /// Sharing group id == plan index of the group's first member.
+    std::size_t group = 0;
+};
+
+/// Jobs that attack byte-identical defense instances, grouped by the
+/// planner: the executor builds one DefenseInstance + OracleService per
+/// group and shares it across the group's jobs (and worker threads).
+/// Group identity is plan data — the same plan sharded or resumed any way
+/// produces the same groups, so group columns are CSV-deterministic.
+struct DefenseGroup {
+    std::uint64_t fingerprint = 0;
+    std::size_t id = 0;                ///< plan index of the first member
+    std::vector<std::size_t> members;  ///< ascending plan indices
 };
 
 /// The ordered, indexed execution plan: the partitionable artifact shards
@@ -116,10 +159,15 @@ struct JobPlan {
     /// loudly instead of silently interleaving different experiments.
     std::uint64_t fingerprint = 0;
     std::vector<PlannedJob> jobs;  ///< matrix order; jobs[i].index == i
+    /// Defense-instance sharing groups in order of first appearance;
+    /// jobs[i].group names the entry with id == that value.
+    std::vector<DefenseGroup> groups;
 
     std::size_t size() const { return jobs.size(); }
     /// The plan indices the given shard owns, ascending.
     std::vector<std::size_t> shard_indices(const ShardSpec& shard) const;
+    /// The sharing group a plan index belongs to.
+    const DefenseGroup& group_of(std::size_t job_index) const;
 };
 
 /// Planner: derives keys, seeds and the fingerprint for a job matrix.
@@ -156,6 +204,18 @@ CampaignResult aggregate_results(std::vector<JobResult> results,
                                  std::size_t resumed = 0,
                                  std::string checkpoint_error = {});
 
+/// Query-memo policy for the shared oracle service (CLI --oracle-cache).
+/// Defense-instance *sharing* (build-once per group) is unconditional — it
+/// is behavior-preserving by construction; the mode only governs whether
+/// the memo in front of evaluate() replays responses. All three modes emit
+/// byte-identical deterministic CSVs; only cost (patterns evaluated, wall
+/// time) differs.
+enum class OracleCacheMode {
+    Off,   ///< never replay; every query evaluates
+    On,    ///< memo every cacheable-contract query, even in singleton groups
+    Auto,  ///< memo only groups with >1 member (where cross-job reuse exists)
+};
+
 struct CampaignOptions {
     /// Worker threads; 0 = std::thread::hardware_concurrency().
     int threads = 1;
@@ -187,6 +247,10 @@ struct CampaignOptions {
     /// uninterrupted run. When false, an existing journal is overwritten
     /// and every job runs fresh.
     bool resume_from_checkpoint = true;
+    /// Query-memo policy for the per-group oracle services.
+    OracleCacheMode oracle_cache = OracleCacheMode::Auto;
+    /// Memo byte cap per defense-instance group.
+    std::size_t oracle_cache_bytes = std::size_t{256} << 20;
 };
 
 class CampaignRunner {
@@ -229,7 +293,8 @@ public:
         const attack::AttackOptions& attack_options);
 
 private:
-    JobResult run_job(const PlannedJob& job) const;
+    struct GroupRuntime;
+    JobResult run_job(const PlannedJob& job, GroupRuntime& group) const;
     /// Worker-pool size for `jobs` runnable jobs: options_.threads
     /// (0 = all cores), never more threads than jobs, at least 1.
     /// CampaignResult::threads reports this for the jobs that actually ran

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/hash.hpp"
 #include "common/json.hpp"
 #include "common/report.hpp"
 
@@ -168,6 +169,33 @@ void write_result(JsonWriter& w, const JobResult& r) {
     for (const auto count : r.oracle_stats.batch_log2_hist) w.value(count);
     w.end_array();
     w.end_object();
+    // Oracle-service fields (additive to journal v1; absent in older
+    // records, which decode with the struct defaults). The first four are
+    // CSV-deterministic and must round-trip exactly for the resume/merge
+    // byte-identity contract; the cache counters are measured.
+    w.key("oracle_contract");
+    w.value(r.oracle_contract);
+    w.key("oracle_group");
+    w.value(r.oracle_group);
+    w.key("oracle_group_size");
+    w.value(r.oracle_group_size);
+    w.key("oracle_unique");
+    w.value(r.oracle_unique);
+    w.key("oracle_cache");
+    w.begin_object();
+    w.key("enabled");
+    w.value(r.oracle_cache_enabled);
+    w.key("hits");
+    w.value(r.oracle_cache.hits);
+    w.key("misses");
+    w.value(r.oracle_cache.misses);
+    w.key("bypassed");
+    w.value(r.oracle_cache.bypassed);
+    w.key("unique_patterns");
+    w.value(r.oracle_cache.unique_patterns);
+    w.key("inserted_bytes");
+    w.value(r.oracle_cache.inserted_bytes);
+    w.end_object();
     w.end_object();
 }
 
@@ -317,16 +345,19 @@ std::optional<JobResult> result_from_value(const json::Value& v) {
                 r.oracle_stats.batch_log2_hist[b] = items[b].as_u64();
         }
     }
-    return r;
-}
-
-std::uint64_t fnv1a(const std::string& s) {
-    std::uint64_t h = 1469598103934665603ULL;
-    for (const char c : s) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 1099511628211ULL;
+    r.oracle_contract = string_field(v, "oracle_contract");
+    r.oracle_group = u64_field(v, "oracle_group");
+    r.oracle_group_size = u64_field(v, "oracle_group_size", 1);
+    r.oracle_unique = u64_field(v, "oracle_unique");
+    if (const json::Value* c = v.find("oracle_cache"); c && c->is_object()) {
+        r.oracle_cache_enabled = bool_field(*c, "enabled", false);
+        r.oracle_cache.hits = u64_field(*c, "hits");
+        r.oracle_cache.misses = u64_field(*c, "misses");
+        r.oracle_cache.bypassed = u64_field(*c, "bypassed");
+        r.oracle_cache.unique_patterns = u64_field(*c, "unique_patterns");
+        r.oracle_cache.inserted_bytes = u64_field(*c, "inserted_bytes");
     }
-    return h;
+    return r;
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "camo/dynamic.hpp"
 #include "camo/protect.hpp"
 #include "camo/sarlock.hpp"
+#include "common/hash.hpp"
 #include "sta/delay_aware.hpp"
 
 namespace gshe::engine {
@@ -87,6 +88,46 @@ DefenseInstance DefenseFactory::build(const netlist::Netlist& base,
         inst.oracle = std::make_unique<attack::ExactOracle>(*inst.netlist);
     }
     return inst;
+}
+
+bool DefenseFactory::shareable_oracle(const DefenseConfig& config) {
+    // The stochastic oracle re-rolls device errors from a per-job RNG and
+    // the rekeying oracle advances a query-counted epoch clock: both are
+    // stateful, so one instance must never serve two jobs. Every other kind
+    // answers through a stateless ExactOracle.
+    return config.kind != "stochastic" && config.kind != "dynamic";
+}
+
+std::uint64_t defense_fingerprint(const std::string& circuit,
+                                  const DefenseConfig& config,
+                                  std::uint64_t derived_seed,
+                                  std::size_t job_index) {
+    // FNV-1a over every input that shapes the built instance. The material
+    // is explicit (not label(), which omits fields like scramble_frac) so
+    // two configs hash equal iff build() would produce identical instances.
+    std::string material = "instance:";
+    material += circuit;
+    material += '|';
+    material += config.kind;
+    material += '|';
+    material += config.library;
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "|%.17g|%d|%.17g|", config.fraction,
+                  config.sarlock_bits, config.accuracy);
+    material += buf;
+    material += std::to_string(config.rekey_interval);
+    std::snprintf(buf, sizeof buf, "|%.17g|%.17g|", config.scramble_frac,
+                  config.duty_true);
+    material += buf;
+    material += std::to_string(config.protect_seed.value_or(derived_seed));
+    if (!DefenseFactory::shareable_oracle(config)) {
+        // Seeded-oracle kinds: force a singleton group per plan slot.
+        material += "|job";
+        material += std::to_string(job_index);
+        material += '|';
+        material += std::to_string(derived_seed);
+    }
+    return fnv1a(material);
 }
 
 const std::vector<std::string>& DefenseFactory::kinds() {

@@ -82,8 +82,29 @@ public:
                                  const DefenseConfig& config,
                                  std::uint64_t seed);
 
+    /// True when build() creates a stateless, seed-free oracle (the
+    /// ExactOracle kinds: camo, delay_aware, sarlock): such an instance can
+    /// be built once and shared by every job whose netlist-build seed
+    /// matches. Stochastic and rekeying oracles consume per-job seeded
+    /// state (an RNG stream, a query-counted epoch clock), so sharing one
+    /// across jobs would let scheduling leak between their results.
+    static bool shareable_oracle(const DefenseConfig& config);
+
     /// The supported kind strings, in documentation order.
     static const std::vector<std::string>& kinds();
 };
+
+/// Identity of the defense instance a job attacks: a hash of the circuit,
+/// the full defense configuration and the netlist-build seed the factory
+/// will actually use (DefenseConfig::protect_seed when set, else the job's
+/// derived seed). Jobs with equal fingerprints would build byte-identical
+/// DefenseInstances, so the campaign engine builds one per fingerprint and
+/// shares it. For configs whose oracle is not shareable_oracle() the job's
+/// plan index is mixed in, forcing a singleton group — the instance is
+/// still built through the same path, just never shared.
+std::uint64_t defense_fingerprint(const std::string& circuit,
+                                  const DefenseConfig& config,
+                                  std::uint64_t derived_seed,
+                                  std::size_t job_index);
 
 }  // namespace gshe::engine

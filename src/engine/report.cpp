@@ -7,12 +7,17 @@
 namespace gshe::engine {
 
 std::string campaign_csv(const CampaignResult& result, bool include_timing) {
+    // The four oracle_* additions (PR 5) are plan data or per-job query-
+    // stream data — deterministic with the query memo on or off, at any
+    // thread/shard count. Memo hit/miss counters are scheduling-dependent
+    // and ride the JSON report only, like wall-clock.
     std::vector<std::string> header = {
         "job",           "circuit",        "defense",      "attack",
         "solver",        "seed",           "status",       "iterations",
         "oracle_patterns", "oracle_calls", "protected_cells", "key_bits",
         "key_error_rate", "key_exact",     "conflicts",    "decisions",
-        "propagations",  "restarts",       "error"};
+        "propagations",  "restarts",       "oracle_contract",
+        "oracle_group",  "oracle_group_size", "oracle_unique", "error"};
     if (include_timing) {
         header.push_back("attack_seconds");
         header.push_back("oracle_seconds");
@@ -42,6 +47,10 @@ std::string campaign_csv(const CampaignResult& result, bool include_timing) {
             Csv::num(r.solver_stats.decisions),
             Csv::num(r.solver_stats.propagations),
             Csv::num(r.solver_stats.restarts),
+            j.oracle_contract,
+            Csv::num(j.oracle_group),
+            Csv::num(j.oracle_group_size),
+            Csv::num(j.oracle_unique),
             j.error};
         if (include_timing) {
             row.push_back(Csv::num(r.seconds));
@@ -123,6 +132,29 @@ std::string campaign_json(const CampaignResult& result) {
             for (const auto count : j.oracle_stats.batch_log2_hist)
                 w.value(count);
             w.end_array();
+            w.key("contract");
+            w.value(j.oracle_contract);
+            w.key("group");
+            w.value(j.oracle_group);
+            w.key("group_size");
+            w.value(j.oracle_group_size);
+            w.key("unique_patterns");
+            w.value(j.oracle_unique);
+            // Memo counters are scheduling-dependent (which sibling job
+            // paid each miss) — full-record JSON only, like wall-clock.
+            w.key("cache");
+            w.begin_object();
+            w.key("enabled");
+            w.value(j.oracle_cache_enabled);
+            w.key("hits");
+            w.value(j.oracle_cache.hits);
+            w.key("misses");
+            w.value(j.oracle_cache.misses);
+            w.key("bypassed");
+            w.value(j.oracle_cache.bypassed);
+            w.key("inserted_bytes");
+            w.value(j.oracle_cache.inserted_bytes);
+            w.end_object();
             w.end_object();
         }
         w.key("job_seconds");

@@ -83,6 +83,8 @@ struct Cli {
     std::uint64_t max_conflicts = 50000;
     double timeout_seconds = 3600.0;
     std::uint64_t campaign_seed = 0x6a0b5eed;
+    std::optional<std::uint64_t> protect_seed;
+    OracleCacheMode oracle_cache = OracleCacheMode::Auto;
     ShardSpec shard;
     std::string csv_path = "-";
     std::string json_path;
@@ -112,6 +114,17 @@ void usage() {
         "  --max-conflicts=N  deterministic solver budget (default 50000)\n"
         "  --timeout=S        wall-clock safety timeout per attack (default 3600)\n"
         "  --campaign-seed=N  campaign-level seed\n"
+        "  --protect-seed=N   pin gate selection/camouflage application to one\n"
+        "                     seed across all jobs (the Table IV methodology:\n"
+        "                     'gates are randomly selected once ... and then\n"
+        "                     reapplied across all techniques'). Jobs that then\n"
+        "                     attack identical defense instances share one\n"
+        "                     build and one oracle query memo\n"
+        "  --oracle-cache=M   query-memo policy: on | off | auto (default\n"
+        "                     auto = memo only defense-instance groups with\n"
+        "                     more than one job). The deterministic CSV is\n"
+        "                     byte-identical for every mode; only evaluation\n"
+        "                     cost differs\n"
         "  --shard=i/N        execute only plan indices j with j %% N == i\n"
         "                     (one process of an N-way sharded campaign;\n"
         "                     combine the shard journals with merge_campaign)\n"
@@ -194,6 +207,13 @@ double double_flag(const char* flag, const std::string& value,
     return *parsed;
 }
 
+OracleCacheMode cache_flag(const std::string& value) {
+    if (value == "on") return OracleCacheMode::On;
+    if (value == "off") return OracleCacheMode::Off;
+    if (value == "auto") return OracleCacheMode::Auto;
+    flag_error("--oracle-cache", value, "expected on, off or auto");
+}
+
 ShardSpec shard_flag(const std::string& value) {
     const std::size_t slash = value.find('/');
     const auto index = slash == std::string::npos
@@ -245,6 +265,8 @@ bool parse(Cli& cli, int argc, char** argv, bool& exit_ok) {
         else if (starts("--max-conflicts=")) cli.max_conflicts = u64_flag("--max-conflicts", val());
         else if (starts("--timeout=")) cli.timeout_seconds = double_flag("--timeout", val(), 0.0, 1e9);
         else if (starts("--campaign-seed=")) cli.campaign_seed = u64_flag("--campaign-seed", val());
+        else if (starts("--protect-seed=")) cli.protect_seed = u64_flag("--protect-seed", val());
+        else if (starts("--oracle-cache=")) cli.oracle_cache = cache_flag(val());
         else if (starts("--shard=")) cli.shard = shard_flag(val());
         else if (starts("--csv=")) cli.csv_path = val();
         else if (starts("--json=")) cli.json_path = val();
@@ -255,18 +277,40 @@ bool parse(Cli& cli, int argc, char** argv, bool& exit_ok) {
 }
 
 /// --dry-run: the plan as the operator will shard it — one row per job with
-/// the shard that owns it, '*' marking the rows this invocation would run.
+/// the shard that owns it and the defense-instance group whose build (and
+/// oracle query memo) it will share, '*' marking the rows this invocation
+/// would run.
 void print_plan(const JobPlan& plan, const ShardSpec& shard) {
-    std::printf("%5s  %-10s %-28s %-11s %5s  %-6s\n", "index", "circuit",
-                "defense", "attack", "seed", "shard");
+    std::printf("%5s  %-10s %-28s %-11s %5s  %-6s %-5s\n", "index", "circuit",
+                "defense", "attack", "seed", "shard", "group");
     for (const auto& job : plan.jobs) {
         const ShardSpec owner{job.index % shard.total, shard.total};
-        std::printf("%5zu  %-10s %-28s %-11s %5llu  %-6s%s\n", job.index,
+        std::printf("%5zu  %-10s %-28s %-11s %5llu  %-6s %-5zu%s\n", job.index,
                     job.spec.circuit.c_str(), job.spec.defense.label().c_str(),
                     job.spec.attack.c_str(),
                     static_cast<unsigned long long>(job.spec.seed),
-                    owner.label().c_str(),
+                    owner.label().c_str(), job.group,
                     shard.contains(job.index) ? " *" : "");
+    }
+    // The sharing preview: which jobs will attack one shared defense
+    // instance (and hence feed one query memo). Singleton groups are
+    // summarized, not listed — with per-job build seeds nothing shares.
+    std::size_t shared_groups = 0;
+    for (const auto& g : plan.groups)
+        if (g.members.size() > 1) ++shared_groups;
+    std::printf("defense-instance groups: %zu (%zu shared, %zu private)\n",
+                plan.groups.size(), shared_groups,
+                plan.groups.size() - shared_groups);
+    for (const auto& g : plan.groups) {
+        if (g.members.size() < 2) continue;
+        std::string members;
+        for (const std::size_t m : g.members) {
+            if (!members.empty()) members += ',';
+            members += std::to_string(m);
+        }
+        std::printf("  group %-5zu %-28s jobs %s\n", g.id,
+                    plan.jobs[g.id].spec.defense.label().c_str(),
+                    members.c_str());
     }
     std::printf("plan: %zu jobs, fingerprint 0x%016llx; shard %s runs %zu\n",
                 plan.size(),
@@ -298,6 +342,7 @@ int main(int argc, char** argv) {
         d.fraction = cli.fraction;
         d.sarlock_bits = cli.sarlock_bits;
         d.accuracy = cli.accuracy;
+        d.protect_seed = cli.protect_seed;
         defenses.push_back(std::move(d));
     }
     std::vector<std::uint64_t> seeds;
@@ -357,6 +402,7 @@ int main(int argc, char** argv) {
     options.shard = cli.shard;
     options.checkpoint_path = cli.checkpoint_path;
     options.resume_from_checkpoint = cli.resume;
+    options.oracle_cache = cli.oracle_cache;
     std::size_t done = 0;  // progress counter; referenced only during run()
     if (!cli.quiet) {
         options.on_job_done = [&](const JobResult& j) {

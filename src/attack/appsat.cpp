@@ -124,6 +124,7 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
     }
 
     res.solver_stats = solver.stats();
+    detail::capture_solver_identity(res, solver);
     detail::finalize_result(res, camo_nl, oracle, options.base, timer);
     return res;
 }

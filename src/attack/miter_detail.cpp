@@ -6,7 +6,19 @@ namespace gshe::attack::detail {
 
 std::unique_ptr<sat::SolverBackend> make_attack_solver(
     const AttackOptions& options) {
-    return sat::make_backend(options.solver_backend, options.solver);
+    // The attack seed (engine-derived, per job) rides into the solver
+    // options: the portfolio backend diversifies its workers from it, so a
+    // job's portfolio is a pure function of its derived seed. The internal
+    // backend draws nothing from it under default options.
+    sat::SolverOptions solver_opts = options.solver;
+    solver_opts.seed = options.seed;
+    return sat::make_backend(options.solver_backend, solver_opts);
+}
+
+void capture_solver_identity(AttackResult& res,
+                             const sat::SolverBackend& solver) {
+    res.portfolio_width = solver.portfolio_width();
+    res.portfolio_winner = solver.portfolio_last_winner();
 }
 
 void set_remaining_budget(sat::SolverBackend& solver,
@@ -131,6 +143,7 @@ AttackResult run_single_dip_loop(const netlist::Netlist& camo_nl,
     }
 
     res.solver_stats = solver.stats();
+    capture_solver_identity(res, solver);
     return res;
 }
 

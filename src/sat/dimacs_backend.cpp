@@ -1,8 +1,12 @@
 #include "sat/dimacs_backend.hpp"
 
+#include <poll.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -32,21 +36,83 @@ std::string make_temp_cnf_path() {
     return std::string(buf.data());
 }
 
-/// Runs `command` through the shell, capturing stdout. Returns the shell's
-/// exit code (-1 when popen itself failed or the child died on a signal).
-/// Solvers signal SAT/UNSAT via output, not exit codes, but the shell's
-/// 126/127 codes are the only way to tell "no such binary" apart from a
-/// solver that timed out — the caller must not fold them into Unknown.
-int run_and_capture(const std::string& command, std::string& stdout_text) {
-    std::FILE* pipe = ::popen(command.c_str(), "r");
-    if (pipe == nullptr) return -1;
+struct RunOutcome {
+    /// Shell exit code; -1 when the fork/exec plumbing itself failed or the
+    /// child died on a signal we did not send.
+    int exit_code = -1;
+    /// True when the wall-clock deadline expired and the child was killed.
+    bool deadline_expired = false;
+};
+
+/// Runs `command` through /bin/sh in its own process group, capturing
+/// stdout, with the wall-clock deadline enforced in-process: the parent
+/// polls the output pipe against a monotonic timer and SIGKILLs the whole
+/// process group on expiry (no dependency on a coreutils `timeout` binary
+/// being on PATH). Solvers signal SAT/UNSAT via output, not exit codes,
+/// but the shell's 126/127 codes are the only way to tell "no such binary"
+/// apart from a solver that timed out — the caller must not fold them into
+/// Unknown.
+RunOutcome run_and_capture(const std::string& command, double deadline_seconds,
+                           std::string& stdout_text) {
+    RunOutcome outcome;
+    int fds[2];
+    if (::pipe(fds) != 0) return outcome;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return outcome;
+    }
+    if (pid == 0) {
+        // Child: own process group, so the kill on expiry reaps the solver
+        // the shell spawned, not just the shell.
+        ::setpgid(0, 0);
+        ::dup2(fds[1], STDOUT_FILENO);
+        ::close(fds[0]);
+        ::close(fds[1]);
+        ::execl("/bin/sh", "sh", "-c", command.c_str(),
+                static_cast<char*>(nullptr));
+        ::_exit(127);
+    }
+    ::close(fds[1]);
+    const bool bounded = std::isfinite(deadline_seconds);
+    Timer timer;
+    bool killed = false;
     char chunk[4096];
-    std::size_t n = 0;
-    while ((n = std::fread(chunk, 1, sizeof chunk, pipe)) > 0)
-        stdout_text.append(chunk, n);
-    const int wstatus = ::pclose(pipe);
-    if (wstatus < 0 || !WIFEXITED(wstatus)) return -1;
-    return WEXITSTATUS(wstatus);
+    while (true) {
+        if (bounded && !killed && timer.seconds() > deadline_seconds) {
+            // Group kill; direct kill as fallback for the narrow window
+            // before the child's setpgid has run.
+            if (::kill(-pid, SIGKILL) != 0) ::kill(pid, SIGKILL);
+            killed = true;
+        }
+        // Poll in short slices so the deadline check above stays live even
+        // while the solver is silent.
+        struct pollfd pfd = {fds[0], POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, killed || !bounded ? 200 : 50);
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (ready == 0) {
+            if (killed) break;  // child killed; nothing more is coming
+            continue;
+        }
+        const ssize_t n = ::read(fds[0], chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (n == 0) break;  // EOF: the child closed its end
+        stdout_text.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fds[0]);
+    int wstatus = 0;
+    while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    outcome.deadline_expired = killed;
+    if (!killed && WIFEXITED(wstatus)) outcome.exit_code = WEXITSTATUS(wstatus);
+    return outcome;
 }
 
 std::string shell_quote(const std::string& s) {
@@ -122,34 +188,34 @@ SolveResult DimacsBackend::solve(const std::vector<Lit>& assumptions) {
     sub_.encoded_clauses += cnf_.clauses.size() + assumptions.size();
     sub_.encode_seconds += encode_timer.seconds();
 
-    // Wall-clock budget rides on coreutils `timeout`; a killed solver emits
-    // no status line and lands in the Unknown path.
-    std::string command;
-    const bool used_timeout = std::isfinite(budget_.max_seconds);
-    if (used_timeout) {
-        const long secs =
-            std::max(1L, static_cast<long>(std::ceil(budget_.max_seconds)));
-        command = "timeout " + std::to_string(secs) + " ";
-    }
-    command += command_ + " " + shell_quote(path) + " 2>/dev/null";
+    // Wall-clock budget is enforced in-process by run_and_capture (fork +
+    // poll against a monotonic deadline, SIGKILL on expiry) — no reliance
+    // on a coreutils `timeout` binary being installed.
+    const std::string command =
+        command_ + " " + shell_quote(path) + " 2>/dev/null";
 
     Timer solve_timer;
     std::string output;
-    const int exit_code = run_and_capture(command, output);
+    const RunOutcome outcome =
+        run_and_capture(command, budget_.max_seconds, output);
     sub_.solve_seconds += solve_timer.seconds();
     ++sub_.solves;
     std::remove(path.c_str());
     // 127/126 are the shell's "not found"/"not executable" — a
     // misconfigured GSHE_DIMACS_SOLVER must fail loudly, not masquerade as
-    // a campaign full of timeout cells. Any other non-zero exit (including
-    // `timeout`'s 124) is judged by the output below.
-    if (exit_code == 127 || exit_code == 126)
+    // a campaign full of timeout cells. A launch-plumbing failure (fork or
+    // pipe) is equally loud. Any other non-zero exit is judged by the
+    // output below; a deadline kill is the budget-style Unknown.
+    if (outcome.deadline_expired) return SolveResult::Unknown;
+    if (outcome.exit_code == 127 || outcome.exit_code == 126)
         throw std::runtime_error(
             "dimacs backend: solver command failed to launch (shell exit " +
-            std::to_string(exit_code) + "): " + command_ +
-            (used_timeout
-                 ? " (or the coreutils `timeout` utility is not on PATH)"
-                 : ""));
+            std::to_string(outcome.exit_code) + "): " + command_);
+    if (outcome.exit_code < 0)
+        throw std::runtime_error(
+            "dimacs backend: could not run solver subprocess (fork/pipe "
+            "failed or the child died on an unexpected signal): " +
+            command_);
 
     const SolverOutput parsed = parse_solver_output_string(output);
     stats_.conflicts += parsed.stats.conflicts;

@@ -1,0 +1,229 @@
+#include "sat/portfolio_backend.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace gshe::sat {
+
+namespace {
+
+bool decisive(SolveResult r) {
+    return r == SolveResult::Sat || r == SolveResult::Unsat;
+}
+
+std::uint64_t splitmix64(std::uint64_t& s) {
+    std::uint64_t z = (s += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+void add_delta(SolverStats& acc, const SolverStats& now,
+               const SolverStats& prev) {
+    acc.decisions += now.decisions - prev.decisions;
+    acc.propagations += now.propagations - prev.propagations;
+    acc.conflicts += now.conflicts - prev.conflicts;
+    acc.restarts += now.restarts - prev.restarts;
+    acc.learnt_clauses += now.learnt_clauses - prev.learnt_clauses;
+    acc.removed_clauses += now.removed_clauses - prev.removed_clauses;
+}
+
+}  // namespace
+
+// ---- SharedClausePool -------------------------------------------------------
+
+bool SharedClausePool::publish(int producer, const Clause& c,
+                               std::int32_t lbd) {
+    if (lbd > lbd_max_ || c.empty()) return false;
+    const std::uint64_t cost = c.size() * sizeof(Lit);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (bytes_ + cost > bytes_max_) return false;
+    bytes_ += cost;
+    entries_.push_back({c, lbd, producer});
+    return true;
+}
+
+std::size_t SharedClausePool::fetch(
+    int consumer, std::size_t& cursor,
+    std::vector<std::pair<Clause, std::int32_t>>& out) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t fetched = 0;
+    for (; cursor < entries_.size(); ++cursor) {
+        const Entry& e = entries_[cursor];
+        if (e.producer == consumer) continue;
+        out.emplace_back(e.lits, e.lbd);
+        ++fetched;
+    }
+    return fetched;
+}
+
+std::size_t SharedClausePool::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::uint64_t SharedClausePool::bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_;
+}
+
+// ---- PortfolioBackend -------------------------------------------------------
+
+SolverOptions PortfolioBackend::worker_options(const SolverOptions& base,
+                                               int index) {
+    SolverOptions o = base;
+    if (index <= 0) return o;
+    std::uint64_t s =
+        base.seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(index));
+    o.seed = splitmix64(s);
+    o.restart_luby = (splitmix64(s) & 1) != 0;
+    o.restart_base = 64ULL << (splitmix64(s) % 3);  // 64 / 128 / 256
+    o.default_phase = (splitmix64(s) & 1) != 0;
+    o.var_decay = 0.90 + 0.02 * static_cast<double>(splitmix64(s) % 5);
+    o.random_branch_freq = (splitmix64(s) & 1) != 0 ? 0.02 : 0.0;
+    o.reduce_interval = 2048ULL << (splitmix64(s) % 3);  // 2048 / 4096 / 8192
+    return o;
+}
+
+PortfolioBackend::PortfolioBackend(const SolverOptions& opts)
+    : opts_(opts),
+      width_(std::max(1, opts.portfolio_width)),
+      race_(opts.portfolio_race && width_ > 1),
+      pool_(opts.share_lbd_max, opts.share_bytes_max) {
+    workers_.reserve(static_cast<std::size_t>(width_));
+    for (int i = 0; i < width_; ++i)
+        workers_.push_back(
+            std::make_unique<Worker>(worker_options(opts_, i)));
+    if (!race_) return;
+    // Race tier only: cooperative cancellation plus bounded clause exchange.
+    // In the budgeted tier both would make a worker's cumulative counters —
+    // and therefore its later budget exhaustion — scheduling-dependent.
+    for (int i = 0; i < width_; ++i) {
+        Solver& solver = workers_[static_cast<std::size_t>(i)]->solver;
+        solver.set_cancel_flag(&cancel_);
+        solver.set_export_hook([this, i](const Clause& c, std::int32_t lbd) {
+            if (pool_.publish(i, c, lbd))
+                exported_.fetch_add(1, std::memory_order_relaxed);
+        });
+        solver.set_import_hook([this, i](Solver& s) {
+            Worker& w = *workers_[static_cast<std::size_t>(i)];
+            std::vector<std::pair<Clause, std::int32_t>> batch;
+            pool_.fetch(i, w.cursor, batch);
+            for (auto& [lits, lbd] : batch) {
+                if (!s.import_clause(std::move(lits), lbd)) break;
+                imported_.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+}
+
+const std::string& PortfolioBackend::backend_name() const {
+    static const std::string name = "portfolio";
+    return name;
+}
+
+Var PortfolioBackend::new_var() {
+    const Var v = workers_[0]->solver.new_var();
+    for (int i = 1; i < width_; ++i)
+        workers_[static_cast<std::size_t>(i)]->solver.new_var();
+    return v;
+}
+
+int PortfolioBackend::num_vars() const { return workers_[0]->solver.num_vars(); }
+
+bool PortfolioBackend::add_clause(Clause c) {
+    // Every worker holds the full formula; a root-level refutation found by
+    // any one of them is sound for all (clauses only ever come from here or
+    // from implied learnt exchange).
+    for (int i = 1; i < width_; ++i)
+        if (!workers_[static_cast<std::size_t>(i)]->solver.add_clause(c))
+            ok_ = false;
+    if (!workers_[0]->solver.add_clause(std::move(c))) ok_ = false;
+    return ok_;
+}
+
+std::size_t PortfolioBackend::num_clauses() const {
+    return workers_[0]->solver.num_clauses();
+}
+
+void PortfolioBackend::set_budget(const SolverBudget& b) {
+    // Cumulative conflict/propagation caps apply per worker, against that
+    // worker's own counters: worker 0 exhausts its budget exactly when
+    // backend "internal" would, and every worker's exhaustion point is
+    // schedule-independent.
+    for (auto& w : workers_) w->solver.set_budget(b);
+}
+
+LBool PortfolioBackend::model_value(Var v) const {
+    return workers_[static_cast<std::size_t>(stats_worker_)]->solver.model_value(
+        v);
+}
+
+void PortfolioBackend::run_worker(int index,
+                                  const std::vector<Lit>& assumptions) {
+    Worker& w = *workers_[static_cast<std::size_t>(index)];
+    w.result = w.solver.solve(assumptions);
+    if (race_ && decisive(w.result)) {
+        int expected = -1;
+        if (race_winner_.compare_exchange_strong(expected, index))
+            cancel_.store(true, std::memory_order_relaxed);
+    }
+}
+
+void PortfolioBackend::accumulate(int stats_worker) {
+    add_delta(accumulated_,
+              workers_[static_cast<std::size_t>(stats_worker)]->solver.stats(),
+              workers_[static_cast<std::size_t>(stats_worker)]->prev);
+    for (auto& w : workers_) w->prev = w->solver.stats();
+    stats_worker_ = stats_worker;
+}
+
+SolveResult PortfolioBackend::solve(const std::vector<Lit>& assumptions) {
+    if (!ok_) return SolveResult::Unsat;
+    cancel_.store(false, std::memory_order_relaxed);
+    race_winner_.store(-1, std::memory_order_relaxed);
+
+    if (width_ == 1) {
+        run_worker(0, assumptions);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(width_) - 1);
+        for (int i = 1; i < width_; ++i)
+            threads.emplace_back(
+                [this, i, &assumptions] { run_worker(i, assumptions); });
+        run_worker(0, assumptions);
+        for (auto& t : threads) t.join();
+    }
+
+    // Winner selection. Budgeted tier: lowest index that answered — a pure
+    // function of the workers' (deterministic) individual runs. Race tier:
+    // the first decisive worker, i.e. whoever raised the cancel flag.
+    int winner = -1;
+    if (race_) {
+        winner = race_winner_.load(std::memory_order_relaxed);
+    } else {
+        for (int i = 0; i < width_; ++i)
+            if (decisive(workers_[static_cast<std::size_t>(i)]->result)) {
+                winner = i;
+                break;
+            }
+    }
+
+    accumulate(winner >= 0 ? winner : 0);
+    if (winner < 0) return SolveResult::Unknown;
+    last_winner_ = winner;
+    return workers_[static_cast<std::size_t>(winner)]->result;
+}
+
+const SolverStats& PortfolioBackend::stats() const {
+    // accumulated winner deltas + the reporting worker's residual since the
+    // last solve (clause construction between solves counts propagations);
+    // at width 1 this reproduces backend "internal"'s numbers exactly.
+    reported_ = accumulated_;
+    add_delta(reported_,
+              workers_[static_cast<std::size_t>(stats_worker_)]->solver.stats(),
+              workers_[static_cast<std::size_t>(stats_worker_)]->prev);
+    return reported_;
+}
+
+}  // namespace gshe::sat

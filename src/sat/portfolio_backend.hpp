@@ -1,0 +1,145 @@
+#pragma once
+// Portfolio SAT backend: K diversified internal-CDCL workers per solve.
+//
+// The shape follows CryptoMiniSat's ThreadControl/DataSync split: every
+// worker is a full incremental sat::Solver holding its own copy of the
+// formula, diversified by restart strategy, decision polarity, VSIDS decay,
+// random-branching seed and learnt-DB schedule — all derived
+// deterministically from (SolverOptions::seed, worker index), so a job's
+// portfolio is a pure function of its derived per-job seed. Worker 0 always
+// runs the base options unchanged, which makes a width-1 portfolio behave
+// bit-for-bit like backend "internal".
+//
+// Two determinism tiers, selected by SolverOptions::portfolio_race:
+//
+//   conflict-budgeted (race off, the default): every worker runs each solve
+//   to completion under its own cumulative budget; the winner is the
+//   lowest-index worker with a decisive (Sat/Unsat) answer. No cancellation
+//   and no clause exchange — both would make a worker's later trajectory
+//   depend on scheduling — so campaign CSVs stay byte-identical at any
+//   thread/shard/resume combination, exactly like backend "internal".
+//
+//   wall-clock race (race on): the first decisive worker wins, raises the
+//   shared cancel flag (checked in every worker's propagate loop), and
+//   between restarts workers exchange learned clauses through a
+//   lock-guarded pool bounded by LBD and a byte cap. This tier is declared
+//   non-deterministic: the winner index is recorded in the campaign CSV,
+//   and journal records remain mergeable, but byte-identity is not promised.
+//
+// Reported stats accumulate the winning worker's per-solve deltas (worker 0
+// when no worker was decisive), so a width-1 portfolio reports exactly the
+// numbers "internal" would.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace gshe::sat {
+
+/// Lock-guarded learned-clause exchange pool shared by the workers of one
+/// portfolio solve. publish() rejects clauses above the LBD bound and stops
+/// admitting once the byte cap is reached; fetch() hands a consumer every
+/// entry it has not seen yet, skipping its own contributions.
+class SharedClausePool {
+public:
+    SharedClausePool(std::int32_t lbd_max, std::uint64_t bytes_max)
+        : lbd_max_(lbd_max), bytes_max_(bytes_max) {}
+
+    /// Returns true iff the clause was admitted.
+    bool publish(int producer, const Clause& c, std::int32_t lbd);
+
+    /// Appends to `out` every entry past `cursor` not produced by
+    /// `consumer`; advances `cursor` to the pool end. Returns the number of
+    /// clauses appended.
+    std::size_t fetch(int consumer, std::size_t& cursor,
+                      std::vector<std::pair<Clause, std::int32_t>>& out) const;
+
+    std::size_t size() const;
+    std::uint64_t bytes() const;
+
+private:
+    struct Entry {
+        Clause lits;
+        std::int32_t lbd;
+        int producer;
+    };
+
+    mutable std::mutex mutex_;
+    std::vector<Entry> entries_;
+    std::uint64_t bytes_ = 0;
+    std::int32_t lbd_max_;
+    std::uint64_t bytes_max_;
+};
+
+class PortfolioBackend final : public SolverBackend {
+public:
+    explicit PortfolioBackend(const SolverOptions& opts);
+
+    // ---- problem construction (forwarded to every worker) ------------------
+    Var new_var() override;
+    int num_vars() const override;
+    bool add_clause(Clause c) override;
+    using SolverBackend::add_clause;
+    std::size_t num_clauses() const override;
+
+    // ---- solving -----------------------------------------------------------
+    SolveResult solve(const std::vector<Lit>& assumptions) override;
+    using SolverBackend::solve;
+    LBool model_value(Var v) const override;
+
+    void set_budget(const SolverBudget& b) override;
+    using SolverBackend::set_budget;
+    const SolverStats& stats() const override;
+    const SolverOptions& options() const override { return opts_; }
+    const std::string& backend_name() const override;
+
+    int portfolio_width() const override { return width_; }
+    int portfolio_last_winner() const override { return last_winner_; }
+
+    /// Diversified options for worker `index` (pure in (base.seed, index);
+    /// index 0 returns `base` unchanged). Exposed for tests and docs.
+    static SolverOptions worker_options(const SolverOptions& base, int index);
+
+    /// Clause-exchange counters (race tier only; both 0 when race is off).
+    std::uint64_t exported_clauses() const {
+        return exported_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t imported_clauses() const {
+        return imported_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct Worker {
+        explicit Worker(const SolverOptions& o) : solver(o) {}
+        Solver solver;
+        SolverStats prev;        ///< stats at the last accumulation point
+        std::size_t cursor = 0;  ///< shared-pool read position
+        SolveResult result = SolveResult::Unknown;
+    };
+
+    void run_worker(int index, const std::vector<Lit>& assumptions);
+    void accumulate(int stats_worker);
+
+    SolverOptions opts_;
+    int width_;
+    bool race_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    SharedClausePool pool_;
+    std::atomic<bool> cancel_{false};
+    std::atomic<int> race_winner_{-1};
+    std::atomic<std::uint64_t> exported_{0};
+    std::atomic<std::uint64_t> imported_{0};
+
+    int last_winner_ = -1;  ///< winner of the most recent decisive solve
+    int stats_worker_ = 0;  ///< worker whose model/residual stats we report
+    SolverStats accumulated_;
+    mutable SolverStats reported_;
+    bool ok_ = true;
+};
+
+}  // namespace gshe::sat

@@ -17,7 +17,7 @@ Var Solver::new_var() {
     level_.push_back(0);
     activity_.push_back(0.0);
     heap_pos_.push_back(-1);
-    polarity_.push_back(0);
+    polarity_.push_back(opts_.default_phase ? 1 : 0);
     seen_.push_back(0);
     watches_.emplace_back();
     watches_.emplace_back();
@@ -62,6 +62,50 @@ bool Solver::add_clause(Clause c) {
     }
     const ClauseRef cref = alloc_clause(std::move(out), false);
     attach(cref);
+    return true;
+}
+
+bool Solver::import_clause(Clause c, std::int32_t lbd) {
+    // Root-level only (import hooks fire with a clean root trail). The same
+    // simplification as add_clause applies — an imported clause is implied
+    // by the shared formula, so root propagation from it is sound.
+    if (!ok_) return false;
+    std::sort(c.begin(), c.end());
+    Clause out;
+    Lit prev = kUndefLit;
+    for (Lit l : c) {
+        if (l == prev) continue;
+        if (prev != kUndefLit && l == ~prev) return true;  // tautology
+        const LBool v = value(l);
+        if (v == LBool::True && level_of(l.var()) == 0) return true;
+        if (v == LBool::False && level_of(l.var()) == 0) {
+            prev = l;
+            continue;
+        }
+        out.push_back(l);
+        prev = l;
+    }
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        if (value(out[0]) == LBool::True) return true;
+        if (value(out[0]) == LBool::False) {
+            ok_ = false;
+            return false;
+        }
+        enqueue(out[0], kNoReason);
+        if (propagate() != kNoReason) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+    const ClauseRef cref = alloc_clause(std::move(out), true);
+    clauses_[cref].lbd = lbd > 0 ? lbd : 1;
+    attach(cref);
+    learnts_.push_back(cref);
     return true;
 }
 
@@ -358,22 +402,34 @@ Var Solver::heap_pop() {
 
 Lit Solver::pick_branch_lit() {
     Var v = kNoVar;
-    if (opts_.use_vsids) {
-        while (!heap_.empty()) {
-            v = heap_pop();
-            if (value(v) == LBool::Undef) break;
-            v = kNoVar;
-        }
-    } else {
-        for (Var u = 0; u < num_vars(); ++u)
-            if (value(u) == LBool::Undef) {
-                v = u;
-                break;
+    // Occasional random decisions (portfolio diversification): pick a random
+    // heap entry, MiniSat-style — it stays in the heap and later pops skip
+    // it once assigned. The guard keeps the RNG untouched when the knob is
+    // off, so default-configured solvers stay bit-identical.
+    if (opts_.random_branch_freq > 0.0 && opts_.use_vsids && !heap_.empty() &&
+        rng_.bernoulli(opts_.random_branch_freq)) {
+        const Var cand = heap_[rng_.below(heap_.size())];
+        if (value(cand) == LBool::Undef) v = cand;
+    }
+    if (v == kNoVar) {
+        if (opts_.use_vsids) {
+            while (!heap_.empty()) {
+                v = heap_pop();
+                if (value(v) == LBool::Undef) break;
+                v = kNoVar;
             }
+        } else {
+            for (Var u = 0; u < num_vars(); ++u)
+                if (value(u) == LBool::Undef) {
+                    v = u;
+                    break;
+                }
+        }
     }
     if (v == kNoVar) return kUndefLit;
-    const bool phase =
-        opts_.use_phase_saving && polarity_[static_cast<std::size_t>(v)] != 0;
+    const bool phase = opts_.use_phase_saving
+                           ? polarity_[static_cast<std::size_t>(v)] != 0
+                           : opts_.default_phase;
     return Lit(v, !phase);
 }
 
@@ -387,10 +443,12 @@ bool Solver::clause_locked(ClauseRef cref) const {
 }
 
 void Solver::reduce_learnt_db() {
-    // Keep glue clauses (LBD <= 2) and the most active half of the rest.
+    // Keep glue clauses (LBD <= glue_keep_lbd) and the most active half of
+    // the rest.
     std::vector<ClauseRef> candidates;
     for (ClauseRef cr : learnts_)
-        if (!clauses_[cr].deleted && clauses_[cr].lbd > 2 && !clause_locked(cr))
+        if (!clauses_[cr].deleted && clauses_[cr].lbd > opts_.glue_keep_lbd &&
+            !clause_locked(cr))
             candidates.push_back(cr);
     std::sort(candidates.begin(), candidates.end(),
               [&](ClauseRef a, ClauseRef b) {
@@ -446,16 +504,22 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
 
 Solver::Result Solver::search(const std::vector<Lit>& assumptions) {
     backtrack_to(0);
+    if (import_hook_) {
+        import_hook_(*this);
+        if (!ok_) return Result::Unsat;
+    }
 
-    const std::uint64_t restart_base = 128;
+    const std::uint64_t restart_base = opts_.restart_base;
     std::uint64_t restart_count = 0;
     std::uint64_t conflicts_until_restart =
-        restart_base * (opts_.use_restarts ? luby(restart_count) : ~0ULL);
+        restart_base * (opts_.use_restarts ? restart_len(restart_count) : ~0ULL);
     std::uint64_t conflicts_this_restart = 0;
-    std::uint64_t next_reduce = 4096;
+    std::uint64_t next_reduce = opts_.reduce_interval;
     std::uint64_t last_budget_check = 0;
 
     while (true) {
+        if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed))
+            return Result::Unknown;
         const ClauseRef conflict = propagate();
         if (conflict != kNoReason) {
             ++stats_.conflicts;
@@ -477,11 +541,14 @@ Solver::Result Solver::search(const std::vector<Lit>& assumptions) {
                 }
                 backtrack_to(bt_level);
                 if (learnt.size() == 1) {
+                    if (export_hook_) export_hook_(learnt, 0);
                     if (value(learnt[0]) == LBool::False) return Result::Unsat;
                     if (value(learnt[0]) == LBool::Undef) enqueue(learnt[0], kNoReason);
                 } else {
                     const ClauseRef cref = alloc_clause(std::move(learnt), true);
                     clauses_[cref].lbd = compute_lbd(clauses_[cref].lits);
+                    if (export_hook_ && clauses_[cref].lbd <= opts_.share_lbd_max)
+                        export_hook_(clauses_[cref].lits, clauses_[cref].lbd);
                     attach(cref);
                     learnts_.push_back(cref);
                     ++stats_.learnt_clauses;
@@ -511,11 +578,23 @@ Solver::Result Solver::search(const std::vector<Lit>& assumptions) {
                 ++stats_.restarts;
                 ++restart_count;
                 conflicts_this_restart = 0;
-                conflicts_until_restart = restart_base * luby(restart_count);
+                conflicts_until_restart =
+                    restart_base * restart_len(restart_count);
                 backtrack_to(0);
+                if (import_hook_) {
+                    import_hook_(*this);
+                    if (!ok_) return Result::Unsat;
+                }
             }
             if (opts_.use_learning && stats_.learnt_clauses >= next_reduce) {
-                next_reduce += next_reduce / 2;
+                // Integer-exact generalization of the historical
+                // `next_reduce += next_reduce / 2`: for the default growth
+                // 1.5 the product n * 0.5 is exact in double and truncates
+                // to n / 2 bit for bit.
+                next_reduce += std::max<std::uint64_t>(
+                    1, static_cast<std::uint64_t>(
+                           static_cast<double>(next_reduce) *
+                           (opts_.reduce_growth - 1.0)));
                 reduce_learnt_db();
             }
             continue;

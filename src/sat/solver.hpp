@@ -23,10 +23,13 @@
 // backend-layer types, so historical sat::Solver::Options spellings keep
 // compiling.
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "sat/backend.hpp"
 #include "sat/types.hpp"
@@ -40,8 +43,8 @@ public:
     using Budget = SolverBudget;
     using Stats = SolverStats;
 
-    Solver() = default;
-    explicit Solver(Options opts) : opts_(opts) {}
+    Solver() : Solver(Options{}) {}
+    explicit Solver(Options opts) : opts_(opts), rng_(opts.seed) {}
 
     // ---- problem construction ----------------------------------------------
     Var new_var() override;
@@ -70,6 +73,33 @@ public:
     const Stats& stats() const override { return stats_; }
     const Options& options() const override { return opts_; }
     const std::string& backend_name() const override;
+
+    // ---- portfolio cooperation hooks ---------------------------------------
+    // Used by the "portfolio" backend (sat/portfolio_backend.hpp); all three
+    // default to off and cost nothing when unset.
+
+    /// Cooperative cancellation: when the flag reads true, search() returns
+    /// Result::Unknown at the next propagate batch. The pointed-to flag must
+    /// outlive every solve; pass nullptr to detach.
+    void set_cancel_flag(const std::atomic<bool>* flag) { cancel_ = flag; }
+
+    /// Called (from the solving thread) for every learnt clause whose LBD is
+    /// <= options().share_lbd_max, including learnt units (LBD 0).
+    using ExportHook = std::function<void(const Clause&, std::int32_t lbd)>;
+    void set_export_hook(ExportHook hook) { export_hook_ = std::move(hook); }
+
+    /// Called (from the solving thread) whenever the solver is at the root
+    /// level with a clean trail — at search entry and after each restart —
+    /// so the callback can feed externally learned clauses in via
+    /// import_clause().
+    using ImportHook = std::function<void(Solver&)>;
+    void set_import_hook(ImportHook hook) { import_hook_ = std::move(hook); }
+
+    /// Adds an externally learned clause (valid only at the root level, i.e.
+    /// from an import hook or between solves). The clause joins the learnt
+    /// DB with the given LBD and competes in reduce_learnt_db like any local
+    /// learnt. Returns false once the formula is root-level unsatisfiable.
+    bool import_clause(Clause c, std::int32_t lbd);
 
 private:
     struct ClauseData {
@@ -127,11 +157,23 @@ private:
 
     bool budget_exhausted() const;
     static std::uint64_t luby(std::uint64_t i);
+    /// Restart-interval multiplier for the n-th restart: the Luby sequence
+    /// (default) or capped power-of-two geometric growth — both integer
+    /// arithmetic, so every restart schedule is platform-identical.
+    std::uint64_t restart_len(std::uint64_t n) const {
+        return opts_.restart_luby ? luby(n)
+                                  : 1ULL << (n < 40 ? n : std::uint64_t{40});
+    }
 
     Options opts_;
+    Rng rng_;  ///< random-branching stream; untouched when the knob is off
     Budget budget_;
     Stats stats_;
     Timer solve_timer_;
+
+    const std::atomic<bool>* cancel_ = nullptr;
+    ExportHook export_hook_;
+    ImportHook import_hook_;
 
     std::vector<ClauseData> clauses_;
     std::vector<ClauseRef> learnts_;

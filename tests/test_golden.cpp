@@ -97,12 +97,17 @@ void check_against_golden(const std::string& kind) {
         << "GSHE_UPDATE_GOLDEN=1 ./test_golden and commit the diff.";
 }
 
-// ---- PR 5 oracle-service columns: additive, nothing else moved --------------
-// tests/golden/pre_oracle_cache/ holds the goldens committed *before* the
-// shared-oracle-service refactor. The refactor added exactly four CSV
-// columns (oracle_contract, oracle_group, oracle_group_size, oracle_unique);
-// stripping them from today's goldens must reproduce the old files byte for
-// byte — proving the engine rework changed reporting, not results.
+// ---- added-columns-only chain ----------------------------------------------
+// Each refactor that extends the campaign CSV pins the goldens it found as a
+// pre_<name>/ snapshot; stripping exactly the columns it added from the next
+// snapshot in the chain must reproduce the pinned files byte for byte —
+// proving the rework changed reporting, not results.
+//
+//   pre_oracle_cache/  before the shared-oracle-service refactor (PR 5),
+//                      which added oracle_contract, oracle_group,
+//                      oracle_group_size, oracle_unique;
+//   pre_portfolio/     before the portfolio SAT backend (PR 6), which added
+//                      portfolio_winner, portfolio_width.
 
 std::string read_file(const std::string& path) {
     std::ifstream f(path, std::ios::binary);
@@ -129,10 +134,10 @@ std::vector<std::string> split_csv_line(const std::string& line) {
     return cells;
 }
 
-void check_only_added_columns(const std::string& kind) {
-    const std::vector<std::string> added = {
-        "oracle_contract", "oracle_group", "oracle_group_size",
-        "oracle_unique"};
+void check_only_added_columns(const std::string& current_rel,
+                              const std::string& baseline_rel,
+                              const std::string& kind,
+                              const std::vector<std::string>& added) {
     const std::string base = std::string(GSHE_GOLDEN_DIR) + "/";
     auto read_lines = [](const std::string& path) {
         std::istringstream in(read_file(path));
@@ -141,9 +146,10 @@ void check_only_added_columns(const std::string& kind) {
         while (std::getline(in, line)) lines.push_back(line);
         return lines;
     };
-    const std::vector<std::string> now = read_lines(base + kind + ".csv");
+    const std::vector<std::string> now =
+        read_lines(base + current_rel + kind + ".csv");
     const std::vector<std::string> before =
-        read_lines(base + "pre_oracle_cache/" + kind + ".csv");
+        read_lines(base + baseline_rel + kind + ".csv");
     ASSERT_FALSE(now.empty());
     ASSERT_EQ(now.size(), before.size()) << kind << ": row count changed";
     const std::vector<std::string> header = split_csv_line(now.front());
@@ -168,8 +174,8 @@ void check_only_added_columns(const std::string& kind) {
 
     for (std::size_t row = 0; row < now.size(); ++row)
         EXPECT_EQ(strip(now[row]), before[row])
-            << kind << " row " << row << ": pre-refactor goldens differ "
-            << "beyond the added oracle columns";
+            << kind << " row " << row << " (" << baseline_rel
+            << "): pre-refactor goldens differ beyond the added columns";
 }
 
 TEST(Golden, CamoCampaignMatchesSnapshot) { check_against_golden("camo"); }
@@ -188,7 +194,16 @@ TEST(Golden, DynamicCampaignMatchesSnapshot) {
 
 TEST(Golden, OracleColumnsAreTheOnlyDiffFromPreRefactorGoldens) {
     for (const char* kind : {"camo", "sarlock", "stochastic", "dynamic"})
-        check_only_added_columns(kind);
+        check_only_added_columns(
+            "pre_portfolio/", "pre_oracle_cache/", kind,
+            {"oracle_contract", "oracle_group", "oracle_group_size",
+             "oracle_unique"});
+}
+
+TEST(Golden, PortfolioColumnsAreTheOnlyDiffFromPrePortfolioGoldens) {
+    for (const char* kind : {"camo", "sarlock", "stochastic", "dynamic"})
+        check_only_added_columns("", "pre_portfolio/", kind,
+                                 {"portfolio_winner", "portfolio_width"});
 }
 
 }  // namespace

@@ -1,0 +1,360 @@
+// Portfolio SAT backend (sat/portfolio_backend.hpp) coverage.
+//
+// The determinism contract under test:
+//   * a width-1 portfolio is backend "internal" bit for bit (same campaign
+//     CSV once the backend-identity columns are projected out);
+//   * the conflict-budgeted tier (race off) produces byte-identical
+//     campaign CSVs at any engine thread count and across repeated runs;
+//   * the race tier may pick any winner but must agree on Sat/Unsat;
+//   * clause exchange never admits a clause above the LBD or byte bounds;
+//   * the cooperative cancel flag stops a worker before its next propagate
+//     batch;
+//   * portfolio telemetry (winner/width) round-trips through the
+//     checkpoint journal.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/attack_result.hpp"
+#include "engine/campaign.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/report.hpp"
+#include "netlist/generator.hpp"
+#include "sat/portfolio_backend.hpp"
+#include "sat/solver.hpp"
+
+namespace gshe {
+namespace {
+
+using attack::AttackOptions;
+using engine::CampaignOptions;
+using engine::CampaignRunner;
+using engine::DefenseConfig;
+using netlist::Netlist;
+
+// ---- golden-matrix campaign helpers (mirrors tests/test_golden.cpp) ---------
+
+Netlist golden_circuit(const std::string& name) {
+    netlist::RandomSpec spec;
+    spec.n_inputs = 12;
+    spec.n_outputs = 8;
+    spec.n_gates = 70;
+    spec.seed = name == "g1" ? 101 : 202;
+    return netlist::random_circuit(spec, name);
+}
+
+std::string campaign_csv_with(const std::string& backend, int width,
+                              int threads) {
+    AttackOptions opt;
+    opt.timeout_seconds = 600.0;
+    opt.max_conflicts = 10000;
+    opt.solver_backend = backend;
+    opt.solver.portfolio_width = width;
+    DefenseConfig d;
+    d.kind = "camo";
+    d.fraction = 0.10;
+    const auto jobs = CampaignRunner::cross_product(
+        {"g1", "g2"}, {d}, {"sat", "double_dip"}, {1, 2}, opt);
+    CampaignOptions options;
+    options.threads = threads;
+    options.campaign_seed = 0x601d;
+    options.netlist_provider = golden_circuit;
+    return campaign_csv(CampaignRunner(options).run(jobs));
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+    std::vector<std::string> cells;
+    std::size_t start = 0;
+    while (start <= line.size()) {
+        const std::size_t end = line.find(',', start);
+        if (end == std::string::npos) {
+            cells.push_back(line.substr(start));
+            break;
+        }
+        cells.push_back(line.substr(start, end - start));
+        start = end + 1;
+    }
+    return cells;
+}
+
+/// Removes the named columns from a rendered CSV (header-addressed).
+std::string strip_columns(const std::string& csv,
+                          const std::vector<std::string>& names) {
+    std::istringstream in(csv);
+    std::string line;
+    std::vector<std::size_t> drop;
+    std::string out;
+    bool header = true;
+    while (std::getline(in, line)) {
+        const std::vector<std::string> cells = split_csv_line(line);
+        if (header) {
+            for (const auto& name : names) {
+                const auto it = std::find(cells.begin(), cells.end(), name);
+                EXPECT_NE(it, cells.end()) << name << " missing from header";
+                if (it != cells.end())
+                    drop.push_back(
+                        static_cast<std::size_t>(it - cells.begin()));
+            }
+            header = false;
+        }
+        std::string row;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (std::find(drop.begin(), drop.end(), i) != drop.end()) continue;
+            if (!row.empty()) row += ',';
+            row += cells[i];
+        }
+        out += row;
+        out += '\n';
+    }
+    return out;
+}
+
+/// Pigeonhole principle PHP(pigeons, holes): UNSAT iff pigeons > holes, and
+/// exponentially hard for resolution — a compact instance that makes a CDCL
+/// worker actually search.
+std::vector<sat::Clause> php_clauses(sat::SolverBackend& s, int pigeons,
+                                     int holes) {
+    std::vector<std::vector<sat::Var>> p(
+        static_cast<std::size_t>(pigeons),
+        std::vector<sat::Var>(static_cast<std::size_t>(holes)));
+    for (auto& row : p)
+        for (auto& v : row) v = s.new_var();
+    std::vector<sat::Clause> clauses;
+    for (int i = 0; i < pigeons; ++i) {
+        sat::Clause c;
+        for (int j = 0; j < holes; ++j)
+            c.push_back(sat::Lit(p[static_cast<std::size_t>(i)]
+                                  [static_cast<std::size_t>(j)],
+                                 false));
+        clauses.push_back(c);
+    }
+    for (int j = 0; j < holes; ++j)
+        for (int i = 0; i < pigeons; ++i)
+            for (int k = i + 1; k < pigeons; ++k)
+                clauses.push_back(
+                    {sat::Lit(p[static_cast<std::size_t>(i)]
+                               [static_cast<std::size_t>(j)],
+                              true),
+                     sat::Lit(p[static_cast<std::size_t>(k)]
+                               [static_cast<std::size_t>(j)],
+                              true)});
+    for (const auto& c : clauses) s.add_clause(c);
+    return clauses;
+}
+
+// ---- width-1 equivalence ----------------------------------------------------
+
+TEST(Portfolio, Width1MatchesInternalOnGoldenMatrix) {
+    const std::string internal = campaign_csv_with("internal", 1, 4);
+    const std::string portfolio = campaign_csv_with("portfolio", 1, 4);
+    // Only the backend-identity columns may differ: solver name, and the
+    // portfolio telemetry (-1/0 internal fallback vs 0/1).
+    const std::vector<std::string> identity = {"solver", "portfolio_winner",
+                                               "portfolio_width"};
+    EXPECT_EQ(strip_columns(internal, identity),
+              strip_columns(portfolio, identity))
+        << "width-1 portfolio diverged from backend internal";
+    EXPECT_NE(portfolio.find(",portfolio,"), std::string::npos);
+}
+
+// ---- budgeted-tier determinism ---------------------------------------------
+
+TEST(Portfolio, BudgetedCsvIdenticalAcrossThreadsAndRuns) {
+    const std::string t1 = campaign_csv_with("portfolio", 2, 1);
+    const std::string t8 = campaign_csv_with("portfolio", 2, 8);
+    const std::string t8_again = campaign_csv_with("portfolio", 2, 8);
+    EXPECT_EQ(t1, t8) << "budgeted portfolio CSV depends on --threads";
+    EXPECT_EQ(t8, t8_again) << "budgeted portfolio CSV differs across runs";
+}
+
+// ---- worker diversification -------------------------------------------------
+
+TEST(Portfolio, WorkerZeroRunsBaseOptionsUnchanged) {
+    sat::SolverOptions base;
+    base.seed = 0xfeed;
+    base.portfolio_width = 4;
+    const sat::SolverOptions w0 =
+        sat::PortfolioBackend::worker_options(base, 0);
+    EXPECT_EQ(w0.seed, base.seed);
+    EXPECT_EQ(w0.restart_base, base.restart_base);
+    EXPECT_EQ(w0.restart_luby, base.restart_luby);
+    EXPECT_EQ(w0.default_phase, base.default_phase);
+    EXPECT_EQ(w0.var_decay, base.var_decay);
+    EXPECT_EQ(w0.random_branch_freq, base.random_branch_freq);
+    EXPECT_EQ(w0.reduce_interval, base.reduce_interval);
+}
+
+TEST(Portfolio, WorkerOptionsArePureInSeedAndIndex) {
+    sat::SolverOptions base;
+    base.seed = 0xabc123;
+    for (int i = 1; i < 4; ++i) {
+        const auto a = sat::PortfolioBackend::worker_options(base, i);
+        const auto b = sat::PortfolioBackend::worker_options(base, i);
+        EXPECT_EQ(a.seed, b.seed);
+        EXPECT_EQ(a.restart_base, b.restart_base);
+        EXPECT_EQ(a.var_decay, b.var_decay);
+        // Every worker draws a distinct random-branching stream.
+        EXPECT_NE(a.seed, base.seed);
+    }
+    EXPECT_NE(sat::PortfolioBackend::worker_options(base, 1).seed,
+              sat::PortfolioBackend::worker_options(base, 2).seed);
+}
+
+// ---- shared clause pool bounds ----------------------------------------------
+
+TEST(SharedClausePool, RejectsClausesAboveLbdBound) {
+    sat::SharedClausePool pool(2, 1 << 20);
+    const sat::Clause c = {sat::Lit(0, false), sat::Lit(1, true)};
+    EXPECT_TRUE(pool.publish(0, c, 2));
+    EXPECT_FALSE(pool.publish(0, c, 3));
+    EXPECT_FALSE(pool.publish(1, c, 100));
+    EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(SharedClausePool, StopsAdmittingAtByteCap) {
+    // Cap sized for exactly two 2-literal clauses.
+    const std::uint64_t cap = 2 * 2 * sizeof(sat::Lit);
+    sat::SharedClausePool pool(2, cap);
+    const sat::Clause c = {sat::Lit(0, false), sat::Lit(1, false)};
+    EXPECT_TRUE(pool.publish(0, c, 1));
+    EXPECT_TRUE(pool.publish(0, c, 1));
+    EXPECT_FALSE(pool.publish(0, c, 1)) << "byte cap not enforced";
+    EXPECT_EQ(pool.bytes(), cap);
+    EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(SharedClausePool, FetchSkipsOwnClausesAndAdvancesCursor) {
+    sat::SharedClausePool pool(2, 1 << 20);
+    const sat::Clause mine = {sat::Lit(0, false)};
+    const sat::Clause theirs = {sat::Lit(1, false)};
+    ASSERT_TRUE(pool.publish(0, mine, 1));
+    ASSERT_TRUE(pool.publish(1, theirs, 2));
+    std::size_t cursor = 0;
+    std::vector<std::pair<sat::Clause, std::int32_t>> got;
+    EXPECT_EQ(pool.fetch(0, cursor, got), 1u);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].first, theirs);
+    EXPECT_EQ(got[0].second, 2);
+    // Cursor advanced past everything: a second fetch is empty.
+    EXPECT_EQ(pool.fetch(0, cursor, got), 0u);
+}
+
+// ---- export-hook gating -----------------------------------------------------
+
+TEST(Portfolio, ExportHookOnlySeesClausesWithinTheLbdBound) {
+    sat::SolverOptions opts;
+    opts.share_lbd_max = 2;
+    sat::Solver solver(opts);
+    std::vector<std::int32_t> exported;
+    solver.set_export_hook([&](const sat::Clause&, std::int32_t lbd) {
+        exported.push_back(lbd);
+    });
+    php_clauses(solver, 6, 5);
+    EXPECT_EQ(solver.solve(), sat::SolveResult::Unsat);
+    for (const std::int32_t lbd : exported) EXPECT_LE(lbd, 2);
+}
+
+// ---- cooperative cancellation -----------------------------------------------
+
+TEST(Portfolio, PresetCancelFlagStopsBeforeTheFirstPropagateBatch) {
+    sat::Solver solver;
+    php_clauses(solver, 9, 8);  // far too hard to finish accidentally
+    std::atomic<bool> cancel{true};
+    solver.set_cancel_flag(&cancel);
+    EXPECT_EQ(solver.solve(), sat::SolveResult::Unknown);
+    EXPECT_EQ(solver.stats().conflicts, 0u);
+    EXPECT_EQ(solver.stats().decisions, 0u);
+    // Cleared flag: the same instance solves normally.
+    cancel.store(false);
+    sat::Solver fresh;
+    fresh.set_cancel_flag(&cancel);
+    php_clauses(fresh, 5, 4);
+    EXPECT_EQ(fresh.solve(), sat::SolveResult::Unsat);
+}
+
+// ---- race tier --------------------------------------------------------------
+
+TEST(Portfolio, RaceTierAgreesWithInternalOnUnsat) {
+    sat::SolverOptions opts;
+    opts.portfolio_width = 4;
+    opts.portfolio_race = true;
+    opts.seed = 7;
+    sat::PortfolioBackend portfolio(opts);
+    php_clauses(portfolio, 7, 6);
+    EXPECT_EQ(portfolio.solve(), sat::SolveResult::Unsat);
+    EXPECT_GE(portfolio.portfolio_last_winner(), 0);
+    EXPECT_LT(portfolio.portfolio_last_winner(), 4);
+    EXPECT_EQ(portfolio.portfolio_width(), 4);
+}
+
+TEST(Portfolio, RaceTierReturnsAValidModelOnSat) {
+    sat::SolverOptions opts;
+    opts.portfolio_width = 4;
+    opts.portfolio_race = true;
+    opts.seed = 11;
+    sat::PortfolioBackend portfolio(opts);
+    // PHP with as many holes as pigeons is satisfiable (a permutation).
+    const auto clauses = php_clauses(portfolio, 6, 6);
+    ASSERT_EQ(portfolio.solve(), sat::SolveResult::Sat);
+    for (const auto& c : clauses) {
+        bool satisfied = false;
+        for (const sat::Lit l : c) {
+            const sat::LBool v = portfolio.model_value(l.var());
+            if (v == (l.negated() ? sat::LBool::False : sat::LBool::True))
+                satisfied = true;
+        }
+        EXPECT_TRUE(satisfied) << "race-tier model violates a clause";
+    }
+}
+
+// ---- journal round-trip -----------------------------------------------------
+
+TEST(Portfolio, JournalRoundTripsPortfolioFieldsAndSolverKnobs) {
+    engine::JobSpec spec;
+    spec.circuit = "g1";
+    spec.attack = "sat";
+    spec.seed = 3;
+    spec.defense.kind = "camo";
+    spec.attack_options.solver_backend = "portfolio";
+    spec.attack_options.solver.portfolio_width = 3;
+    spec.attack_options.solver.portfolio_race = true;
+    spec.attack_options.solver.restart_base = 256;
+    spec.attack_options.solver.restart_luby = false;
+    spec.attack_options.solver.reduce_interval = 2048;
+    spec.attack_options.solver.glue_keep_lbd = 3;
+    spec.attack_options.solver.share_bytes_max = 4096;
+
+    engine::JobResult result;
+    result.index = 1;
+    result.circuit = "g1";
+    result.defense = "camo";
+    result.attack = "sat";
+    result.solver_backend = "portfolio";
+    result.result.status = attack::AttackResult::Status::Success;
+    result.result.portfolio_width = 3;
+    result.result.portfolio_winner = 2;
+
+    const std::string line = engine::checkpoint::encode_record(
+        0x1234, spec, result, engine::checkpoint::ShardStamp{});
+    const auto record = engine::checkpoint::decode_record(line);
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(record->result.result.portfolio_width, 3);
+    EXPECT_EQ(record->result.result.portfolio_winner, 2);
+    const auto& solver = record->spec.attack_options.solver;
+    EXPECT_EQ(solver.portfolio_width, 3);
+    EXPECT_TRUE(solver.portfolio_race);
+    EXPECT_EQ(solver.restart_base, 256u);
+    EXPECT_FALSE(solver.restart_luby);
+    EXPECT_EQ(solver.reduce_interval, 2048u);
+    EXPECT_EQ(solver.glue_keep_lbd, 3);
+    EXPECT_EQ(solver.share_bytes_max, 4096u);
+}
+
+}  // namespace
+}  // namespace gshe

@@ -503,14 +503,16 @@ TEST(SolverOutput, ScrapesWorkCountersFromCommentLines) {
 
 // ---- backend registry ------------------------------------------------------
 
-TEST(BackendRegistry, RegistersInternalAndDimacs) {
+TEST(BackendRegistry, RegistersInternalPortfolioAndDimacs) {
     const auto names = backend_names();
-    ASSERT_EQ(names.size(), 2u);
+    ASSERT_EQ(names.size(), 3u);
     EXPECT_EQ(names[0], "internal");
-    EXPECT_EQ(names[1], "dimacs");
+    EXPECT_EQ(names[1], "portfolio");
+    EXPECT_EQ(names[2], "dimacs");
     EXPECT_NE(find_backend("internal"), nullptr);
     EXPECT_TRUE(backend_by_name("internal").available());
     EXPECT_FALSE(backend_by_name("internal").label().empty());
+    EXPECT_TRUE(backend_by_name("portfolio").available());
 }
 
 TEST(BackendRegistry, UnknownNameFailsListingRegisteredBackends) {

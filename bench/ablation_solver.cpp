@@ -35,13 +35,32 @@ int main() {
         std::string name;
         std::string backend;
         sat::Solver::Options opts;
+        // Deterministic conflict cap (0 = wall clock only). The
+        // inprocessing axis runs budgeted so its baseline-vs-pass deltas
+        // reproduce identically on any host.
+        std::uint64_t max_conflicts = 0;
     };
+    constexpr std::uint64_t kInprocessBudget = 50000;
     std::vector<Config> configs = {
         {"full CDCL (baseline)", "internal", {}},
         {"no VSIDS (index order)", "internal", {.use_vsids = false}},
         {"no restarts", "internal", {.use_restarts = false}},
         {"no phase saving", "internal", {.use_phase_saving = false}},
         {"no clause learning (DPLL)", "internal", {.use_learning = false}},
+        // Inprocessing ablation axis: one budgeted baseline plus each pass
+        // alone and all passes combined — the BENCH_solver.json rows CI
+        // tracks for baseline-vs-inprocessing wall/conflict deltas.
+        {"budgeted baseline (no inprocessing)", "internal", {},
+         kInprocessBudget},
+        {"inprocessing: vivification", "internal",
+         {.use_vivification = true}, kInprocessBudget},
+        {"inprocessing: XOR recovery", "internal",
+         {.use_xor_recovery = true}, kInprocessBudget},
+        {"inprocessing: BVE", "internal", {.use_bve = true},
+         kInprocessBudget},
+        {"inprocessing: viv+xor+bve", "internal",
+         {.use_vivification = true, .use_xor_recovery = true, .use_bve = true},
+         kInprocessBudget},
     };
     // Backend comparison rows: default heuristics on every other available
     // backend (feature toggles are internal-only knobs).
@@ -69,6 +88,8 @@ int main() {
         spec.defense.protect_seed = 0xAB2;
         spec.attack = "sat";
         spec.attack_options.timeout_seconds = timeout;
+        if (c.max_conflicts > 0)
+            spec.attack_options.max_conflicts = c.max_conflicts;
         spec.attack_options.solver = c.opts;
         spec.attack_options.solver_backend = c.backend;
         labels.push_back(c.name);

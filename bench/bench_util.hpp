@@ -95,6 +95,16 @@ inline void write_solver_bench_json(const std::string& path,
         w.value(j.result.solver_stats.propagations);
         w.key("restarts");
         w.value(j.result.solver_stats.restarts);
+        w.key("inprocessings");
+        w.value(j.result.solver_stats.inprocessings);
+        w.key("vivified_lits");
+        w.value(j.result.solver_stats.vivified_lits);
+        w.key("xors_recovered");
+        w.value(j.result.solver_stats.xors_recovered);
+        w.key("eliminated_vars");
+        w.value(j.result.solver_stats.eliminated_vars);
+        w.key("gc_runs");
+        w.value(j.result.solver_stats.gc_runs);
         w.end_object();
     }
     w.end_array();

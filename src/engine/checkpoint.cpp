@@ -53,6 +53,14 @@ void write_solver_options(JsonWriter& w, const sat::Solver::Options& o) {
     w.value(static_cast<std::int64_t>(o.share_lbd_max));
     w.key("share_bytes_max");
     w.value(o.share_bytes_max);
+    w.key("use_vivification");
+    w.value(o.use_vivification);
+    w.key("use_xor_recovery");
+    w.value(o.use_xor_recovery);
+    w.key("use_bve");
+    w.value(o.use_bve);
+    w.key("inprocess_interval");
+    w.value(o.inprocess_interval);
     w.end_object();
 }
 
@@ -174,6 +182,18 @@ void write_result(JsonWriter& w, const JobResult& r) {
     w.value(r.result.solver_stats.learnt_clauses);
     w.key("removed_clauses");
     w.value(r.result.solver_stats.removed_clauses);
+    // Inprocessing telemetry (additive; zero defaults keep older journal
+    // records decoding identically).
+    w.key("inprocessings");
+    w.value(r.result.solver_stats.inprocessings);
+    w.key("gc_runs");
+    w.value(r.result.solver_stats.gc_runs);
+    w.key("vivified_lits");
+    w.value(r.result.solver_stats.vivified_lits);
+    w.key("xors_recovered");
+    w.value(r.result.solver_stats.xors_recovered);
+    w.key("eliminated_vars");
+    w.value(r.result.solver_stats.eliminated_vars);
     w.end_object();
     // Portfolio telemetry (additive to journal v1; the -1/0 "internal
     // fallback" defaults make older records decode identically). In the
@@ -335,6 +355,13 @@ std::optional<JobSpec> spec_from_value(const json::Value& v) {
                 i64_field(*s, "share_lbd_max", opt.solver.share_lbd_max));
             opt.solver.share_bytes_max =
                 u64_field(*s, "share_bytes_max", opt.solver.share_bytes_max);
+            opt.solver.use_vivification = bool_field(
+                *s, "use_vivification", opt.solver.use_vivification);
+            opt.solver.use_xor_recovery = bool_field(
+                *s, "use_xor_recovery", opt.solver.use_xor_recovery);
+            opt.solver.use_bve = bool_field(*s, "use_bve", opt.solver.use_bve);
+            opt.solver.inprocess_interval = u64_field(
+                *s, "inprocess_interval", opt.solver.inprocess_interval);
         }
     }
     return spec;
@@ -382,6 +409,15 @@ std::optional<JobResult> result_from_value(const json::Value& v) {
         r.result.solver_stats.learnt_clauses = u64_field(*s, "learnt_clauses");
         r.result.solver_stats.removed_clauses =
             u64_field(*s, "removed_clauses");
+        r.result.solver_stats.inprocessings =
+            u64_field(*s, "inprocessings", 0);
+        r.result.solver_stats.gc_runs = u64_field(*s, "gc_runs", 0);
+        r.result.solver_stats.vivified_lits =
+            u64_field(*s, "vivified_lits", 0);
+        r.result.solver_stats.xors_recovered =
+            u64_field(*s, "xors_recovered", 0);
+        r.result.solver_stats.eliminated_vars =
+            u64_field(*s, "eliminated_vars", 0);
     }
     r.result.portfolio_winner = static_cast<int>(
         i64_field(*a, "portfolio_winner", r.result.portfolio_winner));

@@ -68,6 +68,16 @@ struct SolverOptions {
     double reduce_growth = 1.5;            ///< reduce-interval growth factor
     std::int32_t glue_keep_lbd = 2;        ///< keep every clause with LBD <= this
 
+    // Inprocessing passes (internal backend; sat/solver.cpp inprocess()).
+    // All run at deterministic root-level points scheduled by conflict
+    // count, so any fixed configuration keeps the campaign byte-identity
+    // contract. All default off: the historical search trajectory — and the
+    // golden CSVs — are reproduced bit for bit unless a pass is enabled.
+    bool use_vivification = false;  ///< assume-and-propagate clause shortening
+    bool use_xor_recovery = false;  ///< CNF XOR detection + GF(2) elimination
+    bool use_bve = false;           ///< bounded variable elimination
+    std::uint64_t inprocess_interval = 8192;  ///< conflicts between rounds
+
     // Portfolio-backend configuration (sat/portfolio_backend.hpp; other
     // backends ignore these).
     int portfolio_width = 4;      ///< worker count K
@@ -96,6 +106,13 @@ struct SolverStats {
     std::uint64_t restarts = 0;
     std::uint64_t learnt_clauses = 0;
     std::uint64_t removed_clauses = 0;
+    // Inprocessing / clause-arena telemetry (internal backend; zero when
+    // the passes are off or the backend has no arena).
+    std::uint64_t inprocessings = 0;     ///< inprocessing rounds run
+    std::uint64_t gc_runs = 0;           ///< clause-arena compactions
+    std::uint64_t vivified_lits = 0;     ///< literals removed by vivification
+    std::uint64_t xors_recovered = 0;    ///< XOR rows recovered from the CNF
+    std::uint64_t eliminated_vars = 0;   ///< variables eliminated by BVE
 };
 
 /// Abstract SAT solver: problem construction, solve-with-assumptions,

@@ -26,6 +26,11 @@ void add_delta(SolverStats& acc, const SolverStats& now,
     acc.restarts += now.restarts - prev.restarts;
     acc.learnt_clauses += now.learnt_clauses - prev.learnt_clauses;
     acc.removed_clauses += now.removed_clauses - prev.removed_clauses;
+    acc.inprocessings += now.inprocessings - prev.inprocessings;
+    acc.gc_runs += now.gc_runs - prev.gc_runs;
+    acc.vivified_lits += now.vivified_lits - prev.vivified_lits;
+    acc.xors_recovered += now.xors_recovered - prev.xors_recovered;
+    acc.eliminated_vars += now.eliminated_vars - prev.eliminated_vars;
 }
 
 }  // namespace
@@ -82,6 +87,19 @@ SolverOptions PortfolioBackend::worker_options(const SolverOptions& base,
     o.var_decay = 0.90 + 0.02 * static_cast<double>(splitmix64(s) % 5);
     o.random_branch_freq = (splitmix64(s) & 1) != 0 ? 0.02 : 0.0;
     o.reduce_interval = 2048ULL << (splitmix64(s) % 3);  // 2048 / 4096 / 8192
+    // Inprocessing diversification: only when the base configuration opts
+    // into a pass at all (a base with every pass off stays off everywhere,
+    // preserving the historical worker family bit for bit). Workers then
+    // vary which passes run and how often, so at least one keeps the base
+    // pass mix while others probe lighter/heavier mixes.
+    if (base.use_vivification || base.use_xor_recovery || base.use_bve) {
+        o.use_vivification = base.use_vivification && (splitmix64(s) % 4) != 0;
+        o.use_xor_recovery = base.use_xor_recovery && (splitmix64(s) % 4) != 0;
+        o.use_bve = base.use_bve && (splitmix64(s) % 4) != 0;
+        o.inprocess_interval =
+            std::max<std::uint64_t>(1, base.inprocess_interval)
+            << (splitmix64(s) % 3);  // 1x / 2x / 4x
+    }
     return o;
 }
 

@@ -1,7 +1,10 @@
 #include "sat/solver.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <iterator>
+#include <map>
 
 namespace gshe::sat {
 
@@ -19,6 +22,10 @@ Var Solver::new_var() {
     heap_pos_.push_back(-1);
     polarity_.push_back(opts_.default_phase ? 1 : 0);
     seen_.push_back(0);
+    eliminated_.push_back(0);
+    elim_pos_.push_back(-1);
+    assume_mark_.push_back(0);
+    assume_mark_.push_back(0);
     watches_.emplace_back();
     watches_.emplace_back();
     heap_insert(v);
@@ -26,52 +33,31 @@ Var Solver::new_var() {
 }
 
 bool Solver::add_clause(Clause c) {
-    if (!ok_) return false;
-    // Root-level simplification: drop false/duplicate lits, detect tautology.
-    std::sort(c.begin(), c.end());
-    Clause out;
-    Lit prev = kUndefLit;
-    for (Lit l : c) {
-        if (l == prev) continue;
-        if (prev != kUndefLit && l == ~prev) return true;  // tautology
-        const LBool v = value(l);
-        if (v == LBool::True && level_of(l.var()) == 0) return true;
-        if (v == LBool::False && level_of(l.var()) == 0) {
-            prev = l;
-            continue;
-        }
-        out.push_back(l);
-        prev = l;
-    }
-    if (out.empty()) {
-        ok_ = false;
-        return false;
-    }
-    if (out.size() == 1) {
-        if (value(out[0]) == LBool::True) return true;
-        if (value(out[0]) == LBool::False) {
-            ok_ = false;
-            return false;
-        }
-        enqueue(out[0], kNoReason);
-        if (propagate() != kNoReason) {
-            ok_ = false;
-            return false;
-        }
-        return true;
-    }
-    const ClauseRef cref = alloc_clause(std::move(out), false);
-    attach(cref);
-    return true;
+    return add_simplified(std::move(c), /*learnt=*/false, /*lbd=*/0);
 }
 
 bool Solver::import_clause(Clause c, std::int32_t lbd) {
     // Root-level only (import hooks fire with a clean root trail). The same
     // simplification as add_clause applies — an imported clause is implied
     // by the shared formula, so root propagation from it is sound.
+    return add_simplified(std::move(c), /*learnt=*/true, lbd > 0 ? lbd : 1);
+}
+
+bool Solver::add_simplified(Clause c, bool learnt, std::int32_t lbd,
+                            ClauseRef* out) {
+    if (out != nullptr) *out = kNoReason;
     if (!ok_) return false;
+    // A clause mentioning an eliminated variable reopens its elimination:
+    // restore the stored clauses first so the new clause constrains a live
+    // variable (BVE soundness for incremental use).
+    if (!elim_stack_.empty())
+        for (Lit l : c)
+            if (eliminated_[static_cast<std::size_t>(l.var())] != 0)
+                reintroduce(l.var());
+    if (!ok_) return false;
+    // Root-level simplification: drop false/duplicate lits, detect tautology.
     std::sort(c.begin(), c.end());
-    Clause out;
+    Clause simplified;
     Lit prev = kUndefLit;
     for (Lit l : c) {
         if (l == prev) continue;
@@ -82,30 +68,33 @@ bool Solver::import_clause(Clause c, std::int32_t lbd) {
             prev = l;
             continue;
         }
-        out.push_back(l);
+        simplified.push_back(l);
         prev = l;
     }
-    if (out.empty()) {
+    if (simplified.empty()) {
         ok_ = false;
         return false;
     }
-    if (out.size() == 1) {
-        if (value(out[0]) == LBool::True) return true;
-        if (value(out[0]) == LBool::False) {
+    if (simplified.size() == 1) {
+        if (value(simplified[0]) == LBool::True) return true;
+        if (value(simplified[0]) == LBool::False) {
             ok_ = false;
             return false;
         }
-        enqueue(out[0], kNoReason);
+        enqueue(simplified[0], kNoReason);
         if (propagate() != kNoReason) {
             ok_ = false;
             return false;
         }
         return true;
     }
-    const ClauseRef cref = alloc_clause(std::move(out), true);
-    clauses_[cref].lbd = lbd > 0 ? lbd : 1;
+    const ClauseRef cref = alloc_clause(std::move(simplified), learnt);
+    if (learnt) {
+        clauses_[cref].lbd = lbd > 0 ? lbd : 1;
+        learnts_.push_back(cref);
+    }
     attach(cref);
-    learnts_.push_back(cref);
+    if (out != nullptr) *out = cref;
     return true;
 }
 
@@ -214,23 +203,25 @@ void Solver::backtrack_to(int target_level) {
 
 std::int32_t Solver::compute_lbd(const Clause& c) {
     // Number of distinct decision levels; small LBD = high-quality clause.
+    // O(|c|) via per-level stamps: a level is counted the first time its
+    // stamp is bumped to this call's lbd_stamp_; bumping the stamp value
+    // resets every mark at once, so no per-call clearing pass is needed.
+    ++lbd_stamp_;
+    // Indexed by level_of(), which for the (currently unassigned) asserting
+    // literal is its pre-backtrack level — so size by the level ceiling, the
+    // variable count, not the current trail depth.
+    if (level_stamp_.size() <= assign_.size())
+        level_stamp_.resize(assign_.size() + 1, 0);
     std::int32_t lbd = 0;
-    analyze_clear_.clear();  // reuse as scratch marker list via seen_ flags
     for (Lit l : c) {
         const int lv = level_of(l.var());
         if (lv == 0) continue;
-        bool dup = false;
-        for (Lit m : analyze_clear_)
-            if (level_of(m.var()) == lv) {
-                dup = true;
-                break;
-            }
-        if (!dup) {
+        auto& stamp = level_stamp_[static_cast<std::size_t>(lv)];
+        if (stamp != lbd_stamp_) {
+            stamp = lbd_stamp_;
             ++lbd;
-            analyze_clear_.push_back(l);
         }
     }
-    analyze_clear_.clear();
     return lbd;
 }
 
@@ -409,18 +400,23 @@ Lit Solver::pick_branch_lit() {
     if (opts_.random_branch_freq > 0.0 && opts_.use_vsids && !heap_.empty() &&
         rng_.bernoulli(opts_.random_branch_freq)) {
         const Var cand = heap_[rng_.below(heap_.size())];
-        if (value(cand) == LBool::Undef) v = cand;
+        if (value(cand) == LBool::Undef &&
+            eliminated_[static_cast<std::size_t>(cand)] == 0)
+            v = cand;
     }
     if (v == kNoVar) {
         if (opts_.use_vsids) {
             while (!heap_.empty()) {
                 v = heap_pop();
-                if (value(v) == LBool::Undef) break;
+                if (value(v) == LBool::Undef &&
+                    eliminated_[static_cast<std::size_t>(v)] == 0)
+                    break;
                 v = kNoVar;
             }
         } else {
             for (Var u = 0; u < num_vars(); ++u)
-                if (value(u) == LBool::Undef) {
+                if (value(u) == LBool::Undef &&
+                    eliminated_[static_cast<std::size_t>(u)] == 0) {
                     v = u;
                     break;
                 }
@@ -455,17 +451,447 @@ void Solver::reduce_learnt_db() {
                   return clauses_[a].activity < clauses_[b].activity;
               });
     const std::size_t remove = candidates.size() / 2;
-    for (std::size_t i = 0; i < remove; ++i) {
-        detach(candidates[i]);
-        clauses_[candidates[i]].deleted = true;
-        clauses_[candidates[i]].lits.clear();
-        clauses_[candidates[i]].lits.shrink_to_fit();
-        ++free_list_guard_;
-        ++stats_.removed_clauses;
-    }
+    for (std::size_t i = 0; i < remove; ++i) delete_clause(candidates[i]);
     learnts_.erase(std::remove_if(learnts_.begin(), learnts_.end(),
                                   [&](ClauseRef cr) { return clauses_[cr].deleted; }),
                    learnts_.end());
+}
+
+// ---- clause arena -----------------------------------------------------------
+
+void Solver::delete_clause(ClauseRef cref) {
+    ClauseData& c = clauses_[cref];
+    if (c.deleted) return;
+    detach(cref);
+    c.deleted = true;
+    c.lits.clear();
+    c.lits.shrink_to_fit();
+    ++free_list_guard_;
+    ++stats_.removed_clauses;
+}
+
+void Solver::garbage_collect() {
+    if (free_list_guard_ == 0) return;
+    // The inprocessing passes tombstone learnts without touching learnts_
+    // bookkeeping; purge those entries before remapping.
+    learnts_.erase(std::remove_if(learnts_.begin(), learnts_.end(),
+                                  [&](ClauseRef cr) { return clauses_[cr].deleted; }),
+                   learnts_.end());
+    // Compact the arena in place (order-preserving, so watcher traversal and
+    // reduce candidate order — and with them the search trajectory — are
+    // unchanged), then rewrite every stored ClauseRef through the remap.
+    std::vector<ClauseRef> remap(clauses_.size(), kNoReason);
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < clauses_.size(); ++i) {
+        if (clauses_[i].deleted) continue;
+        remap[i] = static_cast<ClauseRef>(out);
+        if (out != i) clauses_[out] = std::move(clauses_[i]);
+        ++out;
+    }
+    clauses_.resize(out);
+    for (auto& ws : watches_)
+        for (Watcher& w : ws) w.cref = remap[w.cref];
+    // Locked (reason) clauses are never deleted, so every live reason
+    // remaps to a live slot.
+    for (ClauseRef& r : reason_)
+        if (r != kNoReason) r = remap[r];
+    for (ClauseRef& cr : learnts_) cr = remap[cr];
+    free_list_guard_ = 0;
+    ++stats_.gc_runs;
+}
+
+void Solver::maybe_gc() {
+    // Compact once tombstones dominate the arena; the absolute floor keeps
+    // tiny problems from thrashing.
+    if (free_list_guard_ >= 64 && free_list_guard_ * 2 >= clauses_.size())
+        garbage_collect();
+}
+
+// ---- inprocessing -----------------------------------------------------------
+//
+// All passes run at the root level with a clean trail and are pure
+// functions of the solver's own state, so any fixed configuration stays
+// deterministic across thread counts, shards, and resume points. Work done
+// here counts toward stats_.propagations (and thus the budget), never
+// toward stats_.conflicts — temporary vivification conflicts must not
+// perturb the restart/reduce/inprocess schedules.
+
+namespace {
+
+// Per-pass work bounds (constants, not options: they only cap pathological
+// instances and are far above anything the test/bench corpus reaches).
+constexpr std::uint64_t kVivifyPropBudget = 200000;  // propagations per pass
+constexpr std::size_t kXorMaxArity = 4;              // clause width for XOR detection
+constexpr std::size_t kBveMaxOccProduct = 100;       // |P|*|N| cap per candidate
+constexpr std::size_t kBveMaxResolventLen = 16;      // resolvent length cap
+
+}  // namespace
+
+void Solver::inprocess() {
+    // Root facts need no reasons (they are consequences of the formula
+    // alone); clearing them unlocks every clause for deletion and GC.
+    for (Lit l : trail_) reason_[static_cast<std::size_t>(l.var())] = kNoReason;
+    ++stats_.inprocessings;
+    if (opts_.use_vivification && ok_) vivify();
+    if (opts_.use_xor_recovery && ok_) recover_xors();
+    if (opts_.use_bve && ok_) eliminate_variables();
+    maybe_gc();
+}
+
+void Solver::vivify() {
+    // Assume-and-propagate shortening of long irredundant clauses: with the
+    // clause detached, assume the negation of a growing prefix. A literal
+    // already false under the prefix is redundant; a literal propagated true
+    // (or a conflict) proves the prefix alone is an implied clause.
+    std::vector<ClauseRef> candidates;
+    for (ClauseRef cr = 0; cr < clauses_.size(); ++cr) {
+        const ClauseData& c = clauses_[static_cast<std::size_t>(cr)];
+        if (!c.deleted && !c.learnt && c.lits.size() >= 3) candidates.push_back(cr);
+    }
+    const std::uint64_t prop_limit = stats_.propagations + kVivifyPropBudget;
+    for (ClauseRef cr : candidates) {
+        if (!ok_ || stats_.propagations > prop_limit) return;
+        ClauseData& c = clauses_[static_cast<std::size_t>(cr)];
+        if (c.deleted || c.lits.size() < 3) continue;
+        // Root-satisfied clauses are implied by unit facts: drop them.
+        bool root_sat = false;
+        for (Lit l : c.lits)
+            if (value(l) == LBool::True) {
+                root_sat = true;
+                break;
+            }
+        if (root_sat) {
+            delete_clause(cr);
+            continue;
+        }
+        const Clause original = c.lits;
+        detach(cr);
+        Clause kept;
+        for (Lit l : original) {
+            const LBool v = value(l);
+            if (v == LBool::False) continue;  // redundant under the prefix
+            kept.push_back(l);
+            if (v == LBool::True) break;  // prefix implies l: clause = kept
+            new_decision_level();
+            enqueue(~l, kNoReason);
+            if (propagate() != kNoReason) break;  // prefix refuted: clause = kept
+        }
+        backtrack_to(0);
+        if (kept.size() == original.size()) {
+            attach(cr);
+            continue;
+        }
+        stats_.vivified_lits += original.size() - kept.size();
+        if (kept.empty()) {
+            // Every literal false at the root: the formula is unsatisfiable.
+            delete_clause(cr);
+            ok_ = false;
+            return;
+        }
+        if (kept.size() == 1) {
+            delete_clause(cr);
+            if (value(kept[0]) == LBool::False) {
+                ok_ = false;
+                return;
+            }
+            if (value(kept[0]) == LBool::Undef) {
+                enqueue(kept[0], kNoReason);
+                if (propagate() != kNoReason) {
+                    ok_ = false;
+                    return;
+                }
+            }
+            continue;
+        }
+        c.lits = std::move(kept);
+        attach(cr);
+    }
+}
+
+void Solver::recover_xors() {
+    // A k-ary XOR constraint hides in the CNF as the 2^(k-1) clauses over
+    // one variable set whose forbidden points share a parity. Recover those
+    // rows, forward-eliminate them over GF(2), then harvest the reduction:
+    // an inconsistent empty row refutes the formula, redundant rows delete
+    // their source clauses, and rows the elimination shrank to <= 3 vars
+    // re-encode as short clauses replacing their sources (units propagate
+    // immediately, pairs become equivalences). Rows the elimination left
+    // unchanged — or grew past the re-encode width — keep their original
+    // clause encoding, so the system stays logically equivalent throughout.
+    struct Row {
+        std::vector<Var> vars;  // sorted
+        bool rhs = false;
+        std::vector<ClauseRef> sources;
+    };
+    struct Bucket {
+        // mask bit i set = literal of the i-th (sorted) var is negated; the
+        // clause forbids exactly the point assigning each var its mask bit.
+        std::vector<std::pair<std::uint32_t, ClauseRef>> even, odd;
+    };
+    std::map<std::vector<Var>, Bucket> buckets;
+    std::vector<Var> vars;
+    for (ClauseRef cr = 0; cr < clauses_.size(); ++cr) {
+        const ClauseData& c = clauses_[static_cast<std::size_t>(cr)];
+        if (c.deleted || c.learnt || c.lits.size() < 2 ||
+            c.lits.size() > kXorMaxArity)
+            continue;
+        vars.clear();
+        bool assigned = false;
+        for (Lit l : c.lits) {
+            if (value(l) != LBool::Undef) {
+                assigned = true;
+                break;
+            }
+            vars.push_back(l.var());
+        }
+        if (assigned) continue;
+        std::sort(vars.begin(), vars.end());
+        std::uint32_t mask = 0;
+        int parity = 0;
+        for (Lit l : c.lits) {
+            if (!l.negated()) continue;
+            const auto pos = std::lower_bound(vars.begin(), vars.end(), l.var());
+            mask |= 1u << (pos - vars.begin());
+            parity ^= 1;
+        }
+        Bucket& b = buckets[vars];
+        (parity == 0 ? b.even : b.odd).emplace_back(mask, cr);
+    }
+
+    std::vector<Row> detected;
+    for (auto& [key, bucket] : buckets) {
+        const std::size_t need = std::size_t{1} << (key.size() - 1);
+        for (int parity = 0; parity < 2; ++parity) {
+            auto& entries = parity == 0 ? bucket.even : bucket.odd;
+            if (entries.size() < need) continue;
+            std::sort(entries.begin(), entries.end());
+            entries.erase(std::unique(entries.begin(), entries.end(),
+                                      [](const auto& a, const auto& b) {
+                                          return a.first == b.first;
+                                      }),
+                          entries.end());
+            if (entries.size() != need) continue;
+            // All same-parity points forbidden: the satisfying points have
+            // the opposite parity, i.e. XOR(vars) = parity ^ 1.
+            Row row;
+            row.vars = key;
+            row.rhs = parity == 0;
+            for (const auto& [mask, cr] : entries) row.sources.push_back(cr);
+            detected.push_back(std::move(row));
+            ++stats_.xors_recovered;
+        }
+    }
+    if (detected.empty()) return;
+
+    // Forward Gaussian elimination: reduce each row by the pivots found so
+    // far (pivot = smallest var of its reduced row). Detection order is the
+    // bucket-map order, so the whole pass is deterministic.
+    const auto xor_into = [](Row& r, const Row& pivot) {
+        std::vector<Var> merged;
+        std::set_symmetric_difference(r.vars.begin(), r.vars.end(),
+                                      pivot.vars.begin(), pivot.vars.end(),
+                                      std::back_inserter(merged));
+        r.vars = std::move(merged);
+        r.rhs = r.rhs != pivot.rhs;
+    };
+    const auto encode_mask = [&](const Row& r, std::uint32_t mask) {
+        Clause c;
+        for (std::size_t i = 0; i < r.vars.size(); ++i)
+            c.push_back(Lit(r.vars[i], (mask & (1u << i)) != 0));
+        add_simplified(std::move(c), /*learnt=*/false, /*lbd=*/0);
+    };
+    std::vector<Row> pivots;
+    std::map<Var, std::size_t> pivot_of;
+    for (Row& row : detected) {
+        Row reduced;
+        reduced.vars = row.vars;
+        reduced.rhs = row.rhs;
+        while (!reduced.vars.empty()) {
+            const auto it = pivot_of.find(reduced.vars.front());
+            if (it == pivot_of.end()) break;
+            xor_into(reduced, pivots[it->second]);
+        }
+        if (reduced.vars.empty()) {
+            if (reduced.rhs) {
+                ok_ = false;  // 1 = 0: the XOR system is inconsistent
+                return;
+            }
+            // Redundant row: its sources are implied by earlier rows.
+            for (ClauseRef cr : row.sources) delete_clause(cr);
+            continue;
+        }
+        pivot_of[reduced.vars.front()] = pivots.size();
+        const bool changed = reduced.vars != row.vars || reduced.rhs != row.rhs;
+        if (changed && reduced.vars.size() <= 3) {
+            for (ClauseRef cr : row.sources) delete_clause(cr);
+            // Clauses of the reduced row: every sign mask whose parity is
+            // rhs ^ 1 (its forbidden point has the wrong parity).
+            const auto width = static_cast<std::uint32_t>(reduced.vars.size());
+            for (std::uint32_t mask = 0; mask < (1u << width); ++mask) {
+                if ((std::popcount(mask) & 1) == (reduced.rhs ? 1 : 0)) continue;
+                encode_mask(reduced, mask);
+                if (!ok_) return;
+            }
+        }
+        pivots.push_back(std::move(reduced));
+    }
+}
+
+void Solver::eliminate_variables() {
+    // Bounded variable elimination by clause distribution: replace the
+    // clauses containing v with their non-tautological v-resolvents when
+    // that does not grow the clause count. Assumption variables of the
+    // running search are frozen; root-assigned and unused vars are skipped.
+    std::vector<std::vector<ClauseRef>> occ(watches_.size());
+    for (ClauseRef cr = 0; cr < clauses_.size(); ++cr) {
+        const ClauseData& c = clauses_[static_cast<std::size_t>(cr)];
+        if (c.deleted) continue;
+        for (Lit l : c.lits)
+            occ[static_cast<std::size_t>(l.code())].push_back(cr);
+    }
+    std::vector<Clause> resolvents;
+    for (Var v = 0; v < num_vars() && ok_; ++v) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (eliminated_[vi] != 0 || value(v) != LBool::Undef) continue;
+        const Lit pos(v, false);
+        const Lit neg(v, true);
+        if (is_assumption(pos) || is_assumption(neg)) continue;
+        std::vector<ClauseRef> p_refs, n_refs;
+        for (ClauseRef cr : occ[static_cast<std::size_t>(pos.code())]) {
+            const ClauseData& c = clauses_[static_cast<std::size_t>(cr)];
+            if (!c.deleted && !c.learnt) p_refs.push_back(cr);
+        }
+        for (ClauseRef cr : occ[static_cast<std::size_t>(neg.code())]) {
+            const ClauseData& c = clauses_[static_cast<std::size_t>(cr)];
+            if (!c.deleted && !c.learnt) n_refs.push_back(cr);
+        }
+        if (p_refs.empty() && n_refs.empty()) continue;  // unused var
+        if (p_refs.size() * n_refs.size() > kBveMaxOccProduct) continue;
+
+        // Distribute: every P x N resolvent, tautologies dropped; bail out
+        // if the result would outgrow the clauses it replaces.
+        resolvents.clear();
+        bool too_big = false;
+        for (ClauseRef pr : p_refs) {
+            for (ClauseRef nr : n_refs) {
+                Clause r;
+                for (Lit l : clauses_[static_cast<std::size_t>(pr)].lits)
+                    if (l != pos) r.push_back(l);
+                for (Lit l : clauses_[static_cast<std::size_t>(nr)].lits)
+                    if (l != neg) r.push_back(l);
+                std::sort(r.begin(), r.end());
+                r.erase(std::unique(r.begin(), r.end()), r.end());
+                bool taut = false;
+                for (std::size_t i = 0; i + 1 < r.size(); ++i)
+                    if (r[i] == ~r[i + 1]) {
+                        taut = true;
+                        break;
+                    }
+                if (taut) continue;
+                if (r.size() > kBveMaxResolventLen) {
+                    too_big = true;
+                    break;
+                }
+                resolvents.push_back(std::move(r));
+                if (resolvents.size() > p_refs.size() + n_refs.size()) {
+                    too_big = true;
+                    break;
+                }
+            }
+            if (too_big) break;
+        }
+        if (too_big) continue;
+
+        // Commit: stash the defining clauses for model reconstruction and
+        // reintroduction, delete every clause containing v (learnts
+        // included — they are implied, hence deletable), add the resolvents.
+        ElimEntry entry;
+        entry.v = v;
+        for (ClauseRef cr : p_refs)
+            entry.clauses.push_back(clauses_[static_cast<std::size_t>(cr)].lits);
+        for (ClauseRef cr : n_refs)
+            entry.clauses.push_back(clauses_[static_cast<std::size_t>(cr)].lits);
+        for (const Lit l : {pos, neg})
+            for (ClauseRef cr : occ[static_cast<std::size_t>(l.code())])
+                delete_clause(cr);
+        eliminated_[vi] = 1;
+        elim_pos_[vi] = static_cast<int>(elim_stack_.size());
+        elim_stack_.push_back(std::move(entry));
+        ++stats_.eliminated_vars;
+        for (Clause& r : resolvents) {
+            ClauseRef added = kNoReason;
+            if (!add_simplified(std::move(r), /*learnt=*/false, /*lbd=*/0,
+                                &added))
+                return;  // root conflict: ok_ is false
+            if (added != kNoReason)
+                for (Lit l : clauses_[static_cast<std::size_t>(added)].lits)
+                    occ[static_cast<std::size_t>(l.code())].push_back(added);
+        }
+    }
+}
+
+void Solver::reintroduce(Var v) {
+    // Restoring v's stored clauses may mention further eliminated vars:
+    // collect the whole cascade first (clearing the flags so add_simplified
+    // below does not recurse), then re-add every stored clause.
+    std::vector<std::size_t> entries;
+    std::vector<Var> work{v};
+    while (!work.empty()) {
+        const Var u = work.back();
+        work.pop_back();
+        const auto ui = static_cast<std::size_t>(u);
+        if (eliminated_[ui] == 0) continue;
+        eliminated_[ui] = 0;
+        const auto pos = static_cast<std::size_t>(elim_pos_[ui]);
+        elim_pos_[ui] = -1;
+        elim_stack_[pos].live = false;
+        entries.push_back(pos);
+        for (const Clause& c : elim_stack_[pos].clauses)
+            for (Lit l : c)
+                if (eliminated_[static_cast<std::size_t>(l.var())] != 0)
+                    work.push_back(l.var());
+        if (!heap_contains(u) && value(u) == LBool::Undef) heap_insert(u);
+    }
+    std::sort(entries.begin(), entries.end());
+    for (std::size_t pos : entries)
+        for (Clause& c : elim_stack_[pos].clauses)
+            if (!add_simplified(std::move(c), /*learnt=*/false, /*lbd=*/0))
+                return;  // ok_ is false
+    // Dead tail entries can go; interior ones keep their stack positions.
+    while (!elim_stack_.empty() && !elim_stack_.back().live)
+        elim_stack_.pop_back();
+}
+
+void Solver::extend_model() {
+    // Replay the elimination stack newest-first: by construction an entry's
+    // stored clauses only mention vars that are live or were eliminated
+    // later (and thus already have model values), so each v just needs to
+    // satisfy whichever of its stored clauses the rest of the model does
+    // not. BVE soundness (the resolvents stayed in the formula) guarantees
+    // no two clauses force opposite values.
+    for (auto it = elim_stack_.rbegin(); it != elim_stack_.rend(); ++it) {
+        if (!it->live) continue;
+        const auto vi = static_cast<std::size_t>(it->v);
+        LBool val = LBool::False;
+        for (const Clause& c : it->clauses) {
+            bool satisfied = false;
+            Lit vlit = kUndefLit;
+            for (Lit l : c) {
+                if (l.var() == it->v) {
+                    vlit = l;
+                    continue;
+                }
+                const LBool mv = model_[static_cast<std::size_t>(l.var())];
+                if (mv == (l.negated() ? LBool::False : LBool::True)) {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if (!satisfied && vlit != kUndefLit)
+                val = vlit.negated() ? LBool::False : LBool::True;
+        }
+        model_[vi] = val;
+    }
 }
 
 // ---- main search ------------------------------------------------------------
@@ -504,15 +930,35 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
 
 Solver::Result Solver::search(const std::vector<Lit>& assumptions) {
     backtrack_to(0);
+    // Mark this search's assumption literals (mid-search assumption-conflict
+    // detection + BVE freezing) and reopen any eliminated assumption var.
+    for (const std::int32_t code : assume_marked_codes_)
+        assume_mark_[static_cast<std::size_t>(code)] = 0;
+    assume_marked_codes_.clear();
+    for (const Lit a : assumptions) {
+        assume_mark_[static_cast<std::size_t>(a.code())] = 1;
+        assume_marked_codes_.push_back(a.code());
+        if (eliminated_[static_cast<std::size_t>(a.var())] != 0)
+            reintroduce(a.var());
+    }
+    if (!ok_) return Result::Unsat;
     if (import_hook_) {
         import_hook_(*this);
         if (!ok_) return Result::Unsat;
     }
+    if (inprocessing_enabled() && stats_.conflicts >= next_inprocess_) {
+        inprocess();
+        if (!ok_) return Result::Unsat;
+        next_inprocess_ = stats_.conflicts + opts_.inprocess_interval;
+    }
 
     const std::uint64_t restart_base = opts_.restart_base;
     std::uint64_t restart_count = 0;
+    // No-restart mode wants an unreachable threshold; compute the sentinel
+    // directly instead of multiplying into a mod-2^64 wrap.
     std::uint64_t conflicts_until_restart =
-        restart_base * (opts_.use_restarts ? restart_len(restart_count) : ~0ULL);
+        opts_.use_restarts ? restart_base * restart_len(restart_count)
+                           : std::numeric_limits<std::uint64_t>::max();
     std::uint64_t conflicts_this_restart = 0;
     std::uint64_t next_reduce = opts_.reduce_interval;
     std::uint64_t last_budget_check = 0;
@@ -524,7 +970,15 @@ Solver::Result Solver::search(const std::vector<Lit>& assumptions) {
         if (conflict != kNoReason) {
             ++stats_.conflicts;
             ++conflicts_this_restart;
-            if (current_level() == 0) return Result::Unsat;
+            if (current_level() == 0) {
+                // Root conflict: the formula itself is refuted (assumptions
+                // live on decision levels >= 1). Latch ok_ so later
+                // incremental calls stay Unsat — propagate() consumed the
+                // conflicting queue (qhead_), so a fresh solve would not
+                // rediscover it.
+                ok_ = false;
+                return Result::Unsat;
+            }
 
             if (opts_.use_learning) {
                 Clause learnt;
@@ -533,17 +987,29 @@ Solver::Result Solver::search(const std::vector<Lit>& assumptions) {
                 // Never backtrack past the assumptions.
                 const int assume_level =
                     std::min<int>(static_cast<int>(assumptions.size()), current_level() - 1);
-                if (bt_level < assume_level) {
-                    // The learnt clause is falsified within the assumption
-                    // prefix: check whether it contradicts the assumptions.
-                    // Standard treatment: backtrack to bt_level anyway; the
-                    // assumption re-seeding below restores the prefix.
-                }
+                // A backtrack into the assumption prefix means the learnt
+                // clause is falsified by earlier assumptions alone. Its
+                // asserting literal still gets enqueued (it is implied by
+                // that prefix), but if its negation IS one of the
+                // assumptions, the assumption set is contradictory: answer
+                // Unsat now instead of silently re-seeding and burning
+                // budget until the re-seed loop trips over the false
+                // assumption.
+                const bool into_assumptions = bt_level < assume_level;
                 backtrack_to(bt_level);
                 if (learnt.size() == 1) {
                     if (export_hook_) export_hook_(learnt, 0);
-                    if (value(learnt[0]) == LBool::False) return Result::Unsat;
+                    if (value(learnt[0]) == LBool::False) {
+                        // Learnt clauses are formula-implied (resolution over
+                        // formula clauses only), so a learnt unit false at
+                        // the root refutes the formula, not just the
+                        // assumptions.
+                        if (current_level() == 0) ok_ = false;
+                        return Result::Unsat;
+                    }
                     if (value(learnt[0]) == LBool::Undef) enqueue(learnt[0], kNoReason);
+                    if (into_assumptions && is_assumption(~learnt[0]))
+                        return Result::Unsat;
                 } else {
                     const ClauseRef cref = alloc_clause(std::move(learnt), true);
                     clauses_[cref].lbd = compute_lbd(clauses_[cref].lits);
@@ -553,13 +1019,18 @@ Solver::Result Solver::search(const std::vector<Lit>& assumptions) {
                     learnts_.push_back(cref);
                     ++stats_.learnt_clauses;
                     enqueue(clauses_[cref].lits[0], cref);
+                    if (into_assumptions &&
+                        is_assumption(~clauses_[cref].lits[0]))
+                        return Result::Unsat;
                 }
                 decay_var_activity();
                 decay_clause_activity();
             } else {
                 // Chronological backtracking without learning.
-                if (current_level() <= static_cast<int>(assumptions.size()))
+                if (current_level() <= static_cast<int>(assumptions.size())) {
+                    if (current_level() == 0) ok_ = false;
                     return Result::Unsat;
+                }
                 const Lit flipped = trail_[static_cast<std::size_t>(
                     trail_lim_.back())];
                 backtrack_to(current_level() - 1);
@@ -585,6 +1056,12 @@ Solver::Result Solver::search(const std::vector<Lit>& assumptions) {
                     import_hook_(*this);
                     if (!ok_) return Result::Unsat;
                 }
+                if (inprocessing_enabled() &&
+                    stats_.conflicts >= next_inprocess_) {
+                    inprocess();
+                    if (!ok_) return Result::Unsat;
+                    next_inprocess_ = stats_.conflicts + opts_.inprocess_interval;
+                }
             }
             if (opts_.use_learning && stats_.learnt_clauses >= next_reduce) {
                 // Integer-exact generalization of the historical
@@ -596,6 +1073,7 @@ Solver::Result Solver::search(const std::vector<Lit>& assumptions) {
                            static_cast<double>(next_reduce) *
                            (opts_.reduce_growth - 1.0)));
                 reduce_learnt_db();
+                maybe_gc();  // safe: no local ClauseRef survives to here
             }
             continue;
         }
@@ -616,8 +1094,10 @@ Solver::Result Solver::search(const std::vector<Lit>& assumptions) {
 
         const Lit next = pick_branch_lit();
         if (next == kUndefLit) {
-            // Full model found.
+            // Full model found; BVE-eliminated vars get their values from
+            // the stored-clause replay.
             model_.assign(assign_.begin(), assign_.end());
+            if (!elim_stack_.empty()) extend_model();
             backtrack_to(0);
             return Result::Sat;
         }

@@ -16,6 +16,10 @@
 //    Table IV.
 //  * Feature toggles (VSIDS / restarts / learning / phase saving) for the
 //    solver-ablation benchmark.
+//  * An inprocessing pipeline (clause vivification, XOR recovery with GF(2)
+//    elimination, bounded variable elimination with model reconstruction),
+//    scheduled at root-level points by conflict count and gated per pass by
+//    SolverOptions, on top of a compacting clause arena (garbage_collect).
 //
 // Solver implements the abstract sat::SolverBackend interface and is
 // registered as backend "internal" (sat/backend.hpp). The nested
@@ -136,6 +140,14 @@ private:
     bool literal_redundant(Lit l, std::uint32_t abstract_levels);
     std::int32_t compute_lbd(const Clause& c);
 
+    // Shared root-level simplification behind add_clause / import_clause /
+    // the inprocessing passes. Sorts, drops false/duplicate literals,
+    // detects tautologies, handles the unit/empty cases, and reintroduces
+    // eliminated variables the clause mentions. `out` (optional) receives
+    // the allocated ClauseRef, or kNoReason when no clause was stored.
+    bool add_simplified(Clause c, bool learnt, std::int32_t lbd,
+                        ClauseRef* out = nullptr);
+
     // Decision heuristic.
     void bump_var(Var v);
     void decay_var_activity() { var_inc_ /= opts_.var_decay; }
@@ -154,6 +166,32 @@ private:
     void detach(ClauseRef cref);
     void reduce_learnt_db();
     bool clause_locked(ClauseRef cref) const;
+
+    // Clause arena: delete_clause detaches + tombstones (idempotent);
+    // garbage_collect compacts clauses_ and rewrites every stored ClauseRef
+    // (watchers, reasons, learnts_). Only call GC from points that hold no
+    // local ClauseRef.
+    void delete_clause(ClauseRef cref);
+    void garbage_collect();
+    void maybe_gc();
+
+    // Inprocessing (vivification / XOR recovery / BVE), run at root-level
+    // points scheduled by stats_.conflicts against next_inprocess_.
+    bool inprocessing_enabled() const {
+        return opts_.use_vivification || opts_.use_xor_recovery ||
+               opts_.use_bve;
+    }
+    void inprocess();
+    void vivify();
+    void recover_xors();
+    void eliminate_variables();
+    void reintroduce(Var v);
+    void extend_model();
+
+    bool is_assumption(Lit l) const {
+        const auto code = static_cast<std::size_t>(l.code());
+        return code < assume_mark_.size() && assume_mark_[code] != 0;
+    }
 
     bool budget_exhausted() const;
     static std::uint64_t luby(std::uint64_t i);
@@ -177,7 +215,9 @@ private:
 
     std::vector<ClauseData> clauses_;
     std::vector<ClauseRef> learnts_;
-    std::size_t free_list_guard_ = 0;  // count of deleted-but-not-compacted
+    // Count of deleted-but-not-yet-compacted arena slots; maybe_gc()
+    // reclaims them once they dominate the arena.
+    std::size_t free_list_guard_ = 0;
 
     std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::code()
     std::vector<LBool> assign_;
@@ -198,6 +238,31 @@ private:
     std::vector<char> seen_;
     std::vector<Lit> analyze_stack_;
     std::vector<Lit> analyze_clear_;
+
+    // compute_lbd() scratch: per-decision-level stamps. A level is counted
+    // once per call when its stamp is bumped to the current lbd_stamp_.
+    std::vector<std::uint64_t> level_stamp_;
+    std::uint64_t lbd_stamp_ = 0;
+
+    // Assumption-literal marks for the current search (indexed by
+    // Lit::code()), used by the mid-search assumption-conflict check and to
+    // freeze assumption variables against BVE.
+    std::vector<char> assume_mark_;
+    std::vector<std::int32_t> assume_marked_codes_;
+
+    // Bounded variable elimination: eliminated vars leave the clause DB and
+    // the decision heuristic; their defining clauses live on this stack for
+    // model reconstruction (extend_model) and reintroduction (a later
+    // clause/assumption mentioning the var restores them).
+    struct ElimEntry {
+        Var v = kNoVar;
+        std::vector<Clause> clauses;  // irredundant clauses removed with v
+        bool live = true;
+    };
+    std::vector<ElimEntry> elim_stack_;
+    std::vector<char> eliminated_;  // per-var: currently eliminated
+    std::vector<int> elim_pos_;     // var -> live elim_stack_ index, -1
+    std::uint64_t next_inprocess_ = 0;
 
     std::vector<LBool> model_;  // snapshot of the last satisfying assignment
 

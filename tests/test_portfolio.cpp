@@ -329,6 +329,9 @@ TEST(Portfolio, JournalRoundTripsPortfolioFieldsAndSolverKnobs) {
     spec.attack_options.solver.reduce_interval = 2048;
     spec.attack_options.solver.glue_keep_lbd = 3;
     spec.attack_options.solver.share_bytes_max = 4096;
+    spec.attack_options.solver.use_vivification = true;
+    spec.attack_options.solver.use_bve = true;
+    spec.attack_options.solver.inprocess_interval = 1024;
 
     engine::JobResult result;
     result.index = 1;
@@ -339,6 +342,9 @@ TEST(Portfolio, JournalRoundTripsPortfolioFieldsAndSolverKnobs) {
     result.result.status = attack::AttackResult::Status::Success;
     result.result.portfolio_width = 3;
     result.result.portfolio_winner = 2;
+    result.result.solver_stats.inprocessings = 7;
+    result.result.solver_stats.gc_runs = 2;
+    result.result.solver_stats.eliminated_vars = 11;
 
     const std::string line = engine::checkpoint::encode_record(
         0x1234, spec, result, engine::checkpoint::ShardStamp{});
@@ -354,6 +360,13 @@ TEST(Portfolio, JournalRoundTripsPortfolioFieldsAndSolverKnobs) {
     EXPECT_EQ(solver.reduce_interval, 2048u);
     EXPECT_EQ(solver.glue_keep_lbd, 3);
     EXPECT_EQ(solver.share_bytes_max, 4096u);
+    EXPECT_TRUE(solver.use_vivification);
+    EXPECT_FALSE(solver.use_xor_recovery);
+    EXPECT_TRUE(solver.use_bve);
+    EXPECT_EQ(solver.inprocess_interval, 1024u);
+    EXPECT_EQ(record->result.result.solver_stats.inprocessings, 7u);
+    EXPECT_EQ(record->result.result.solver_stats.gc_runs, 2u);
+    EXPECT_EQ(record->result.result.solver_stats.eliminated_vars, 11u);
 }
 
 }  // namespace

@@ -141,6 +141,64 @@ TEST(Solver, AssumptionsSelectBranches) {
     EXPECT_EQ(s.solve(), Result::Sat);
 }
 
+TEST(Solver, AssumptionsContradictoryOnlyMidSearch) {
+    // PHP(6,5) with every clause weakened by two guard literals: the
+    // formula is satisfiable (drop either guard), but assuming both guards
+    // re-activates the pigeonhole contradiction — which only surfaces after
+    // real search, via learnt clauses falsified inside the assumption
+    // prefix. Regression for the formerly dead bt_level < assume_level
+    // branch in Solver::search.
+    const int holes = 5, pigeons = 6;
+    Solver s;
+    const Var g1 = s.new_var(), g2 = s.new_var();
+    std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+    for (auto& row : x)
+        for (auto& v : row) v = s.new_var();
+    const auto guarded = [&](Clause c) {
+        c.push_back(Lit(g1, true));
+        c.push_back(Lit(g2, true));
+        s.add_clause(std::move(c));
+    };
+    for (int p = 0; p < pigeons; ++p) {
+        Clause c;
+        for (int h = 0; h < holes; ++h) c.push_back(Lit(x[p][h], false));
+        guarded(std::move(c));
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                guarded(Clause{Lit(x[p1][h], true), Lit(x[p2][h], true)});
+    EXPECT_EQ(s.solve({Lit(g1, false), Lit(g2, false)}), Result::Unsat);
+    EXPECT_GT(s.stats().conflicts, 0u);
+    // One guard released: satisfiable again; the solver stays usable.
+    ASSERT_EQ(s.solve({Lit(g1, false)}), Result::Sat);
+    ASSERT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Solver, DisabledRestartsNeverRestart) {
+    // Regression: restart_base * ~0ULL used to wrap modulo 2^64 and leave a
+    // tiny restart interval despite use_restarts=false.
+    const int holes = 5, pigeons = 6;
+    Solver::Options opts;
+    opts.use_restarts = false;
+    Solver s(opts);
+    std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+    for (auto& row : x)
+        for (auto& v : row) v = s.new_var();
+    for (int p = 0; p < pigeons; ++p) {
+        Clause c;
+        for (int h = 0; h < holes; ++h) c.push_back(Lit(x[p][h], false));
+        s.add_clause(c);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.add_clause(Lit(x[p1][h], true), Lit(x[p2][h], true));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    EXPECT_GT(s.stats().conflicts, 10u);
+    EXPECT_EQ(s.stats().restarts, 0u);
+}
+
 TEST(Solver, IncrementalClauseAddition) {
     Solver s;
     const Var a = s.new_var(), b = s.new_var();

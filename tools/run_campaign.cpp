@@ -77,6 +77,8 @@ struct Cli {
     std::string solver = "internal";
     int portfolio_width = 4;
     bool portfolio_race = false;
+    std::vector<std::string> inprocess;  // of: viv, xor, bve
+    std::uint64_t inprocess_interval = 8192;
     int n_seeds = 2;
     double fraction = 0.05;
     std::string library = "gshe16";
@@ -115,6 +117,14 @@ void usage() {
         "                     cancels the rest and workers exchange learned\n"
         "                     clauses (declared non-deterministic; the\n"
         "                     budgeted default keeps CSVs byte-identical)\n"
+        "  --inprocess=p,...  internal-solver inprocessing passes: viv\n"
+        "                     (clause vivification), xor (XOR recovery +\n"
+        "                     GF(2) elimination), bve (bounded variable\n"
+        "                     elimination). Default: none. Any fixed set\n"
+        "                     keeps campaign CSVs byte-identical across\n"
+        "                     threads/shards/resume\n"
+        "  --inprocess-interval=N  conflicts between inprocessing rounds\n"
+        "                     (default 8192)\n"
         "  --seeds=N          replications with seeds 1..N (default 2)\n"
         "  --fraction=F       protected gate fraction (default 0.05)\n"
         "  --library=NAME     camouflage cell library (default gshe16)\n"
@@ -268,6 +278,8 @@ bool parse(Cli& cli, int argc, char** argv, bool& exit_ok) {
         else if (starts("--attacks=")) cli.attacks = split(val(), ',');
         else if (starts("--solver=")) cli.solver = val();
         else if (starts("--portfolio-width=")) cli.portfolio_width = int_flag("--portfolio-width", val(), 1, 64);
+        else if (starts("--inprocess=")) cli.inprocess = split(val(), ',');
+        else if (starts("--inprocess-interval=")) cli.inprocess_interval = u64_flag("--inprocess-interval", val());
         else if (starts("--seeds=")) cli.n_seeds = int_flag("--seeds", val(), 1, 1 << 20);
         else if (starts("--fraction=")) cli.fraction = double_flag("--fraction", val(), 0.0, 1.0);
         else if (starts("--library=")) cli.library = val();
@@ -366,6 +378,18 @@ int main(int argc, char** argv) {
     attack_options.solver_backend = cli.solver;
     attack_options.solver.portfolio_width = cli.portfolio_width;
     attack_options.solver.portfolio_race = cli.portfolio_race;
+    attack_options.solver.inprocess_interval = cli.inprocess_interval;
+    for (const auto& pass : cli.inprocess) {
+        if (pass == "viv") attack_options.solver.use_vivification = true;
+        else if (pass == "xor") attack_options.solver.use_xor_recovery = true;
+        else if (pass == "bve") attack_options.solver.use_bve = true;
+        else if (!pass.empty()) {
+            std::fprintf(stderr,
+                         "--inprocess: unknown pass '%s' (viv, xor, bve)\n",
+                         pass.c_str());
+            return 2;
+        }
+    }
     try {
         // Validate up front so a typo fails before any job runs; the error
         // lists every registered backend.

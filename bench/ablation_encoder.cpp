@@ -1,0 +1,130 @@
+// Ablation: legacy per-gate Tseitin vs the compact CNF encoder (constant
+// folding + structural hashing + key-cone reduction) on the default camo
+// matrix. The same {circuit x seed} SAT-attack jobs run once per encoder
+// mode; the headline metric is the agreement CNF emitted per DIP iteration
+// — exactly the cost the compact encoder attacks, since every iteration of
+// the loop adds two oracle-agreement copies of the circuit under legacy
+// encoding but only the key cone (with simulated frontier constants) under
+// compact encoding.
+//
+// Budgeted by the deterministic conflict cap, not the wall clock: the
+// compact encoder makes jobs *faster*, so a tight wall-clock timeout would
+// let borderline cells succeed compact and time out legacy, muddying the
+// comparison. The exit code gates only on deterministic counters (statuses
+// agree across modes, exact keys, and a >= 5x per-iteration CNF reduction);
+// the wall-clock geomean speedup is reported and recorded in
+// BENCH_encoder.json but never gated on.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/ascii_table.hpp"
+#include "engine/campaign.hpp"
+#include "engine/report.hpp"
+
+using namespace gshe;
+using namespace gshe::engine;
+
+namespace {
+
+/// Agreement CNF (vars + clauses) emitted per DIP iteration, the encoder's
+/// per-iteration footprint. Jobs that finish without any agreement (the DIP
+/// loop proved the key on iteration zero) have no footprint to compare.
+double per_iteration_cnf(const JobResult& j) {
+    const auto& es = j.result.encoder_stats;
+    if (es.agreements == 0) return 0.0;
+    return static_cast<double>(es.agreement_vars + es.agreement_clauses) /
+           static_cast<double>(es.agreements);
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("ABLATION",
+                  "compact CNF encoder vs legacy Tseitin in the DIP loop");
+    const double timeout = std::max(bench::attack_timeout_s(), 120.0);
+    constexpr std::uint64_t kMaxConflicts = 30000;
+
+    DefenseConfig defense;  // run_campaign's default camo matrix settings
+    defense.kind = "camo";
+    defense.fraction = 0.05;
+    defense.protect_seed = 0xEC0;
+
+    std::vector<std::string> labels;
+    CampaignResult results[2];
+    for (int m = 0; m < 2; ++m) {
+        attack::AttackOptions attack_options;
+        attack_options.timeout_seconds = timeout;
+        attack_options.max_conflicts = kMaxConflicts;
+        attack_options.encoder = m == 0 ? "legacy" : "compact";
+        const std::vector<JobSpec> jobs = CampaignRunner::cross_product(
+            {"ex1010", "c7552"}, {defense}, {"sat"}, {1, 2}, attack_options);
+        if (labels.empty())
+            for (const JobSpec& s : jobs)
+                labels.push_back(s.circuit + "/s" +
+                                 std::to_string(s.seed));
+        CampaignOptions copts;
+        copts.threads = bench::campaign_threads();
+        results[m] = CampaignRunner(copts).run(jobs);
+    }
+    const CampaignResult& legacy = results[0];
+    const CampaignResult& compact = results[1];
+
+    AsciiTable t("Agreement CNF per DIP iteration (vars + clauses)");
+    t.header({"job", "status", "legacy", "compact", "reduction", "legacy s",
+              "compact s"});
+    bool statuses_agree = true;
+    bool keys_exact = true;
+    double log_reduction_sum = 0.0, log_speedup_sum = 0.0;
+    std::size_t reduction_n = 0, speedup_n = 0;
+    for (std::size_t i = 0; i < legacy.jobs.size(); ++i) {
+        const JobResult& jl = legacy.jobs[i];
+        const JobResult& jc = compact.jobs[i];
+        if (bench::status_cell(jl) != bench::status_cell(jc))
+            statuses_agree = false;
+        if (!jl.result.key_exact || !jc.result.key_exact) keys_exact = false;
+        const double pl = per_iteration_cnf(jl);
+        const double pc = per_iteration_cnf(jc);
+        const double reduction = pc > 0.0 ? pl / pc : 0.0;
+        if (reduction > 0.0) {
+            log_reduction_sum += std::log(reduction);
+            ++reduction_n;
+        }
+        if (jl.result.seconds > 0.0 && jc.result.seconds > 0.0) {
+            log_speedup_sum += std::log(jl.result.seconds / jc.result.seconds);
+            ++speedup_n;
+        }
+        t.row({i < labels.size() ? labels[i] : std::to_string(i),
+               bench::status_cell(jc), AsciiTable::num(pl, 6),
+               AsciiTable::num(pc, 6),
+               reduction > 0.0 ? AsciiTable::num(reduction, 3) + "x" : "n/a",
+               AsciiTable::runtime(jl.result.seconds, false),
+               AsciiTable::runtime(jc.result.seconds, false)});
+    }
+    std::puts(t.render().c_str());
+
+    const double reduction_geomean =
+        reduction_n ? std::exp(log_reduction_sum /
+                               static_cast<double>(reduction_n))
+                    : 0.0;
+    const double speedup_geomean =
+        speedup_n ? std::exp(log_speedup_sum / static_cast<double>(speedup_n))
+                  : 1.0;
+    std::printf("per-iteration CNF reduction geomean: %.2fx (gate: >= 5x)\n",
+                reduction_geomean);
+    std::printf("wall-clock geomean speedup: %.2fx (measured, not gated)\n",
+                speedup_geomean);
+    std::printf("statuses agree across modes: %s; keys exact: %s\n",
+                statuses_agree ? "yes" : "NO (BUG)",
+                keys_exact ? "yes" : "NO (BUG)");
+
+    bench::write_encoder_bench_json("BENCH_encoder.json", labels, legacy,
+                                    compact, reduction_geomean,
+                                    speedup_geomean);
+    const bool ok =
+        statuses_agree && keys_exact && reduction_n > 0 &&
+        reduction_geomean >= 5.0;
+    return ok ? 0 : 1;
+}

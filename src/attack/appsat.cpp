@@ -24,17 +24,18 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
     const std::unique_ptr<sat::SolverBackend> solver_ptr =
         detail::make_attack_solver(base);
     sat::SolverBackend& solver = *solver_ptr;
-    const auto enc1 = sat::encode_circuit(solver, camo_nl);
-    const auto enc2 = sat::encode_circuit(solver, camo_nl, enc1.pis);
-    sat::add_difference(solver, enc1.outs, enc2.outs);
+    sat::CircuitEncoder encoder(solver, detail::resolve_encoder_mode(base));
+    const auto enc1 = encoder.encode(camo_nl);
+    const auto enc2 = encoder.encode(camo_nl, enc1.pis);
+    encoder.add_difference(enc1.outs, enc2.outs);
 
     netlist::Simulator sim(camo_nl);
     Rng sample_rng(options.sample_seed);
     History history;
 
     auto record = [&](std::vector<bool> x, std::vector<bool> y) {
-        detail::add_agreement(solver, camo_nl, enc1.keys, x, y);
-        detail::add_agreement(solver, camo_nl, enc2.keys, x, y);
+        encoder.add_agreement(camo_nl, enc1.keys, x, y);
+        encoder.add_agreement(camo_nl, enc2.keys, x, y);
         history.add(std::move(x), std::move(y));
     };
 
@@ -57,7 +58,7 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
         if (r == sat::SolveResult::Unsat) {
             bool timed_out = false;
             const auto key = detail::extract_consistent_key(
-                camo_nl, history, base, timer, &timed_out);
+                camo_nl, history, base, timer, &timed_out, &res.encoder_stats);
             if (key) {
                 res.status = AttackResult::Status::Success;
                 res.key = *key;
@@ -77,7 +78,7 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
         if (res.iterations % options.settle_every != 0) continue;
         bool timed_out = false;
         const auto candidate = detail::extract_consistent_key(
-            camo_nl, history, base, timer, &timed_out);
+            camo_nl, history, base, timer, &timed_out, &res.encoder_stats);
         if (!candidate) {
             if (timed_out) {
                 res.status = AttackResult::Status::TimedOut;
@@ -125,6 +126,7 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
 
     res.solver_stats = solver.stats();
     detail::capture_solver_identity(res, solver);
+    sat::accumulate(res.encoder_stats, encoder.stats());
     detail::finalize_result(res, camo_nl, oracle, options.base, timer);
     return res;
 }

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "camo/key.hpp"
+#include "sat/encoder.hpp"
 #include "sat/solver.hpp"
 
 namespace gshe::attack {
@@ -43,6 +44,12 @@ struct AttackOptions {
     /// matrices need (Sec. V-B runs AppSAT at a PAC tolerance). Ignored by
     /// the exact attacks.
     double appsat_error_threshold = 0.0;
+    /// CNF encoder mode (sat/encoder.hpp): "legacy" (historical per-gate
+    /// Tseitin — the default, pinned so recorded golden trajectories keep
+    /// reproducing bit-for-bit) or "compact" (constant folding + structural
+    /// hashing + key-cone-reduced agreements). Unknown names make the
+    /// attack throw with the list of modes. Both modes are deterministic.
+    std::string encoder = "legacy";
 };
 
 struct AttackResult {
@@ -69,6 +76,10 @@ struct AttackResult {
     /// the worker that decided the miter solver's last decisive solve.
     int portfolio_width = 0;
     int portfolio_winner = -1;
+    /// CNF-emission telemetry, summed over every encoder the attack used
+    /// (miter plus key-extraction solvers). Telemetry only: rides the JSON
+    /// report and journal, never the deterministic CSV.
+    sat::EncoderStats encoder_stats;
 
     bool timed_out() const { return status == Status::TimedOut; }
     static std::string status_name(Status s);

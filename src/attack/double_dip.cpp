@@ -27,25 +27,27 @@ AttackResult double_dip_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
     const std::unique_ptr<sat::SolverBackend> solver_ptr =
         detail::make_attack_solver(options);
     sat::SolverBackend& solver = *solver_ptr;
-    const auto enc1 = sat::encode_circuit(solver, camo_nl);
-    const auto enc2 = sat::encode_circuit(solver, camo_nl, enc1.pis);
-    const auto enc3 = sat::encode_circuit(solver, camo_nl, enc1.pis);
-    const auto enc4 = sat::encode_circuit(solver, camo_nl, enc1.pis);
-    sat::add_difference(solver, enc1.outs, enc2.outs);
-    sat::add_difference(solver, enc3.outs, enc4.outs);
-    sat::add_difference(solver, enc1.keys, enc3.keys);
-    sat::add_difference(solver, enc1.keys, enc4.keys);
-    sat::add_difference(solver, enc2.keys, enc3.keys);
-    sat::add_difference(solver, enc2.keys, enc4.keys);
+    sat::CircuitEncoder encoder(solver, detail::resolve_encoder_mode(options));
+    const auto enc1 = encoder.encode(camo_nl);
+    const auto enc2 = encoder.encode(camo_nl, enc1.pis);
+    const auto enc3 = encoder.encode(camo_nl, enc1.pis);
+    const auto enc4 = encoder.encode(camo_nl, enc1.pis);
+    encoder.add_difference(enc1.outs, enc2.outs);
+    encoder.add_difference(enc3.outs, enc4.outs);
+    encoder.add_difference(enc1.keys, enc3.keys);
+    encoder.add_difference(enc1.keys, enc4.keys);
+    encoder.add_difference(enc2.keys, enc3.keys);
+    encoder.add_difference(enc2.keys, enc4.keys);
 
     History history;
-    const std::array<const sat::CircuitEncoding*, 4> encs = {&enc1, &enc2,
-                                                             &enc3, &enc4};
+    const std::array<const sat::Encoding*, 4> encs = {&enc1, &enc2, &enc3,
+                                                      &enc4};
     while (true) {
         if (res.iterations >= options.max_iterations) {
             res.status = AttackResult::Status::IterationCap;
             res.solver_stats = solver.stats();
             detail::capture_solver_identity(res, solver);
+            sat::accumulate(res.encoder_stats, encoder.stats());
             detail::finalize_result(res, camo_nl, oracle, options, timer);
             return res;
         }
@@ -53,6 +55,7 @@ AttackResult double_dip_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
             res.status = AttackResult::Status::TimedOut;
             res.solver_stats = solver.stats();
             detail::capture_solver_identity(res, solver);
+            sat::accumulate(res.encoder_stats, encoder.stats());
             detail::finalize_result(res, camo_nl, oracle, options, timer);
             return res;
         }
@@ -63,6 +66,7 @@ AttackResult double_dip_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
             res.status = AttackResult::Status::TimedOut;
             res.solver_stats = solver.stats();
             detail::capture_solver_identity(res, solver);
+            sat::accumulate(res.encoder_stats, encoder.stats());
             detail::finalize_result(res, camo_nl, oracle, options, timer);
             return res;
         }
@@ -72,7 +76,7 @@ AttackResult double_dip_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
         std::vector<bool> dip = detail::model_values(solver, enc1.pis);
         std::vector<bool> response = oracle.query_single(dip);
         for (const auto* e : encs)
-            detail::add_agreement(solver, camo_nl, e->keys, dip, response);
+            encoder.add_agreement(camo_nl, e->keys, dip, response);
         history.add(std::move(dip), std::move(response));
     }
 
@@ -81,6 +85,7 @@ AttackResult double_dip_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
     // observations.
     AttackResult final_res = detail::run_single_dip_loop(
         camo_nl, oracle, options, timer, history, res.iterations);
+    sat::accumulate(final_res.encoder_stats, encoder.stats());
     detail::finalize_result(final_res, camo_nl, oracle, options, timer);
     return final_res;
 }

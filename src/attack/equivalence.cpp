@@ -9,12 +9,12 @@
 namespace gshe::attack {
 namespace {
 
-EquivResult run_miter(sat::SolverBackend& solver,
+EquivResult run_miter(sat::SolverBackend& solver, sat::CircuitEncoder& enc,
                       const std::vector<sat::Var>& pis,
-                      const std::vector<sat::Var>& outs_a,
-                      const std::vector<sat::Var>& outs_b,
+                      const std::vector<sat::Lit>& outs_a,
+                      const std::vector<sat::Lit>& outs_b,
                       double timeout_seconds) {
-    sat::add_difference(solver, outs_a, outs_b);
+    enc.add_difference(outs_a, outs_b);
     sat::SolverBudget budget;
     budget.max_seconds = timeout_seconds;
     solver.set_budget(budget);
@@ -41,7 +41,8 @@ EquivResult check_equivalence(const netlist::Netlist& a,
                               const netlist::Netlist& b,
                               double timeout_seconds,
                               const sat::SolverOptions& opts,
-                              const std::string& solver_backend) {
+                              const std::string& solver_backend,
+                              const std::string& encoder) {
     if (a.inputs().size() != b.inputs().size() ||
         a.outputs().size() != b.outputs().size())
         throw std::invalid_argument("check_equivalence: interface mismatch");
@@ -52,9 +53,10 @@ EquivResult check_equivalence(const netlist::Netlist& a,
 
     const std::unique_ptr<sat::SolverBackend> solver =
         sat::make_backend(solver_backend, opts);
-    const auto enc_a = sat::encode_circuit(*solver, a);
-    const auto enc_b = sat::encode_circuit(*solver, b, enc_a.pis);
-    return run_miter(*solver, enc_a.pis, enc_a.outs, enc_b.outs,
+    sat::CircuitEncoder enc(*solver, detail::resolve_encoder_mode(encoder));
+    const auto enc_a = enc.encode(a);
+    const auto enc_b = enc.encode(b, enc_a.pis);
+    return run_miter(*solver, enc, enc_a.pis, enc_a.outs, enc_b.outs,
                      timeout_seconds);
 }
 
@@ -62,23 +64,25 @@ EquivResult check_key_equivalence(const netlist::Netlist& camo_nl,
                                   const camo::Key& key,
                                   double timeout_seconds,
                                   const sat::SolverOptions& opts,
-                                  const std::string& solver_backend) {
+                                  const std::string& solver_backend,
+                                  const std::string& encoder) {
     if (key.bits.size() != static_cast<std::size_t>(camo_nl.key_bit_count()))
         throw std::invalid_argument("check_key_equivalence: key size mismatch");
 
     const std::unique_ptr<sat::SolverBackend> solver =
         sat::make_backend(solver_backend, opts);
+    sat::CircuitEncoder enc(*solver, detail::resolve_encoder_mode(encoder));
     // Copy A: key variables pinned to the candidate key.
-    const auto enc_a = sat::encode_circuit(*solver, camo_nl);
+    const auto enc_a = enc.encode(camo_nl);
     for (std::size_t i = 0; i < enc_a.keys.size(); ++i)
         sat::fix_var(*solver, enc_a.keys[i], key.bits[i]);
     // Copy B: key variables pinned to the true key (ground truth).
     const camo::Key truth = camo::true_key(camo_nl);
-    const auto enc_b = sat::encode_circuit(*solver, camo_nl, enc_a.pis);
+    const auto enc_b = enc.encode(camo_nl, enc_a.pis);
     for (std::size_t i = 0; i < enc_b.keys.size(); ++i)
         sat::fix_var(*solver, enc_b.keys[i], truth.bits[i]);
 
-    return run_miter(*solver, enc_a.pis, enc_a.outs, enc_b.outs,
+    return run_miter(*solver, enc, enc_a.pis, enc_a.outs, enc_b.outs,
                      timeout_seconds);
 }
 

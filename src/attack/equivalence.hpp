@@ -23,12 +23,14 @@ struct EquivResult {
 
 /// Checks whether two plain combinational netlists (same input/output
 /// counts, matched by position) are functionally equivalent. The miter is
-/// solved on the SAT backend named by `solver_backend` (sat/backend.hpp).
+/// solved on the SAT backend named by `solver_backend` (sat/backend.hpp)
+/// and built by the CNF encoder named by `encoder` (sat/encoder.hpp).
 EquivResult check_equivalence(const netlist::Netlist& a,
                               const netlist::Netlist& b,
                               double timeout_seconds = 60.0,
                               const sat::SolverOptions& opts = {},
-                              const std::string& solver_backend = "internal");
+                              const std::string& solver_backend = "internal",
+                              const std::string& encoder = "legacy");
 
 /// Checks whether `camo_nl` under `key` equals its own true functionality.
 EquivResult check_key_equivalence(const netlist::Netlist& camo_nl,
@@ -36,6 +38,7 @@ EquivResult check_key_equivalence(const netlist::Netlist& camo_nl,
                                   double timeout_seconds = 60.0,
                                   const sat::SolverOptions& opts = {},
                                   const std::string& solver_backend =
-                                      "internal");
+                                      "internal",
+                                  const std::string& encoder = "legacy");
 
 }  // namespace gshe::attack

@@ -1,5 +1,7 @@
 #include "attack/miter_detail.hpp"
 
+#include <stdexcept>
+
 #include "attack/sat_attack.hpp"
 
 namespace gshe::attack::detail {
@@ -13,6 +15,17 @@ std::unique_ptr<sat::SolverBackend> make_attack_solver(
     sat::SolverOptions solver_opts = options.solver;
     solver_opts.seed = options.seed;
     return sat::make_backend(options.solver_backend, solver_opts);
+}
+
+sat::EncoderMode resolve_encoder_mode(const std::string& name) {
+    if (const auto mode = sat::encoder_mode_from_name(name)) return *mode;
+    std::string msg = "unknown encoder '" + name + "'; known encoders:";
+    for (const std::string& n : sat::encoder_mode_names()) msg += " " + n;
+    throw std::invalid_argument(msg);
+}
+
+sat::EncoderMode resolve_encoder_mode(const AttackOptions& options) {
+    return resolve_encoder_mode(options.encoder);
 }
 
 void capture_solver_identity(AttackResult& res,
@@ -35,35 +48,23 @@ std::vector<bool> model_values(const sat::SolverBackend& solver,
     return out;
 }
 
-void add_agreement(sat::SolverBackend& solver, const netlist::Netlist& nl,
-                   const std::vector<sat::Var>& keys,
-                   const std::vector<bool>& x, const std::vector<bool>& y) {
-    std::vector<sat::Var> xvars;
-    xvars.reserve(x.size());
-    for (bool bit : x) {
-        const sat::Var v = solver.new_var();
-        sat::fix_var(solver, v, bit);
-        xvars.push_back(v);
-    }
-    const sat::CircuitEncoding enc = sat::encode_circuit(solver, nl, xvars, keys);
-    for (std::size_t o = 0; o < enc.outs.size(); ++o)
-        sat::fix_var(solver, enc.outs[o], y[o]);
-}
-
 std::optional<camo::Key> extract_consistent_key(const netlist::Netlist& nl,
                                                 const History& history,
                                                 const AttackOptions& options,
                                                 const Timer& timer,
-                                                bool* timed_out) {
+                                                bool* timed_out,
+                                                sat::EncoderStats* stats) {
     if (timed_out != nullptr) *timed_out = false;
     const std::unique_ptr<sat::SolverBackend> solver =
         make_attack_solver(options);
+    sat::CircuitEncoder encoder(*solver, resolve_encoder_mode(options));
     // One free copy creates the key variables together with their
     // valid-code constraints.
-    const sat::CircuitEncoding enc = sat::encode_circuit(*solver, nl);
+    const sat::Encoding enc = encoder.encode(nl);
     for (std::size_t i = 0; i < history.size(); ++i)
-        add_agreement(*solver, nl, enc.keys, history.inputs[i],
-                      history.outputs[i]);
+        encoder.add_agreement(nl, enc.keys, history.inputs[i],
+                              history.outputs[i]);
+    if (stats != nullptr) sat::accumulate(*stats, encoder.stats());
 
     set_remaining_budget(*solver, options, timer);
     switch (solver->solve()) {
@@ -91,13 +92,14 @@ AttackResult run_single_dip_loop(const netlist::Netlist& camo_nl,
     const std::unique_ptr<sat::SolverBackend> solver_ptr =
         make_attack_solver(options);
     sat::SolverBackend& solver = *solver_ptr;
-    const auto enc1 = sat::encode_circuit(solver, camo_nl);
-    const auto enc2 = sat::encode_circuit(solver, camo_nl, enc1.pis);
-    sat::add_difference(solver, enc1.outs, enc2.outs);
+    sat::CircuitEncoder encoder(solver, resolve_encoder_mode(options));
+    const auto enc1 = encoder.encode(camo_nl);
+    const auto enc2 = encoder.encode(camo_nl, enc1.pis);
+    encoder.add_difference(enc1.outs, enc2.outs);
     for (std::size_t i = 0; i < history.size(); ++i) {
-        detail::add_agreement(solver, camo_nl, enc1.keys, history.inputs[i],
+        encoder.add_agreement(camo_nl, enc1.keys, history.inputs[i],
                               history.outputs[i]);
-        detail::add_agreement(solver, camo_nl, enc2.keys, history.inputs[i],
+        encoder.add_agreement(camo_nl, enc2.keys, history.inputs[i],
                               history.outputs[i]);
     }
 
@@ -122,7 +124,7 @@ AttackResult run_single_dip_loop(const netlist::Netlist& camo_nl,
             bool timed_out = false;
             const auto key =
                 extract_consistent_key(camo_nl, history, options, timer,
-                                       &timed_out);
+                                       &timed_out, &res.encoder_stats);
             if (key) {
                 res.status = AttackResult::Status::Success;
                 res.key = *key;
@@ -137,13 +139,14 @@ AttackResult run_single_dip_loop(const netlist::Netlist& camo_nl,
         ++res.iterations;
         std::vector<bool> dip = model_values(solver, enc1.pis);
         std::vector<bool> response = oracle.query_single(dip);
-        add_agreement(solver, camo_nl, enc1.keys, dip, response);
-        add_agreement(solver, camo_nl, enc2.keys, dip, response);
+        encoder.add_agreement(camo_nl, enc1.keys, dip, response);
+        encoder.add_agreement(camo_nl, enc2.keys, dip, response);
         history.add(std::move(dip), std::move(response));
     }
 
     res.solver_stats = solver.stats();
     capture_solver_identity(res, solver);
+    sat::accumulate(res.encoder_stats, encoder.stats());
     return res;
 }
 

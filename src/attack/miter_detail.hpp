@@ -21,7 +21,7 @@
 #include "common/timer.hpp"
 #include "netlist/netlist.hpp"
 #include "sat/backend.hpp"
-#include "sat/tseitin.hpp"
+#include "sat/encoder.hpp"
 
 namespace gshe::attack::detail {
 
@@ -44,6 +44,13 @@ struct History {
 std::unique_ptr<sat::SolverBackend> make_attack_solver(
     const AttackOptions& options);
 
+/// Resolves an encoder-mode name ("legacy"/"compact") to the enum. Throws
+/// std::invalid_argument (listing the known modes) for unknown names — the
+/// encoder analogue of the solver-backend registry contract.
+sat::EncoderMode resolve_encoder_mode(const std::string& name);
+/// Same, reading AttackOptions::encoder.
+sat::EncoderMode resolve_encoder_mode(const AttackOptions& options);
+
 /// Copies the backend's portfolio telemetry (width, last decisive winner)
 /// into the result — applied wherever solver_stats is captured, so the
 /// engine's portfolio_winner/portfolio_width columns ride every attack.
@@ -61,22 +68,20 @@ void set_remaining_budget(sat::SolverBackend& solver,
 std::vector<bool> model_values(const sat::SolverBackend& solver,
                                const std::vector<sat::Var>& vars);
 
-/// Adds a circuit copy with primary inputs fixed to `x`, key variables
-/// shared with `keys`, and outputs constrained to `y` — the agreement
-/// constraint "key must reproduce the oracle response on x".
-void add_agreement(sat::SolverBackend& solver, const netlist::Netlist& nl,
-                   const std::vector<sat::Var>& keys,
-                   const std::vector<bool>& x, const std::vector<bool>& y);
-
-/// Solves (on a fresh backend from `options`) for any key consistent with
-/// the full history, under the remaining budget of `timer`.
+/// Solves (on a fresh backend from `options`, with the encoder mode the
+/// options name) for any key consistent with the full history, under the
+/// remaining budget of `timer`. Agreement constraints go through
+/// sat::CircuitEncoder — one full circuit copy each in legacy mode, the
+/// key-cone remainder in compact mode.
 /// Returns the key, std::nullopt on inconsistency; sets *timed_out when the
-/// budget (wall clock or `max_conflicts`) ran out before an answer.
+/// budget (wall clock or `max_conflicts`) ran out before an answer. When
+/// `stats` is non-null the extraction encoder's counters are summed into it.
 std::optional<camo::Key> extract_consistent_key(const netlist::Netlist& nl,
                                                 const History& history,
                                                 const AttackOptions& options,
                                                 const Timer& timer,
-                                                bool* timed_out);
+                                                bool* timed_out,
+                                                sat::EncoderStats* stats = nullptr);
 
 /// Runs the classic single-DIP refinement loop to completion: build the
 /// two-copy miter, replay `history` as agreement constraints, then iterate

@@ -193,6 +193,7 @@ JobResult CampaignRunner::run_job(const PlannedJob& job,
     r.defense = spec.defense.label();
     r.attack = spec.attack;
     r.solver_backend = spec.attack_options.solver_backend;
+    r.encoder = spec.attack_options.encoder;
     r.spec_seed = spec.seed;
     r.derived_seed = job.derived_seed;
     r.oracle_group = static_cast<std::uint64_t>(job.group);
@@ -210,11 +211,12 @@ JobResult CampaignRunner::run_job(const PlannedJob& job,
                 group.instance = std::make_unique<DefenseInstance>(
                     DefenseFactory::build(base, c.spec.defense,
                                           c.derived_seed));
-                // Prewarm the netlist's lazily built topo/fanout caches
-                // while the group is still single-threaded: member jobs
-                // encode and simulate this netlist concurrently, and the
-                // lazy fill is mutable-under-const with no lock.
+                // Prewarm the netlist's lazily built topo/fanout/key-cone
+                // caches while the group is still single-threaded: member
+                // jobs encode and simulate this netlist concurrently, and
+                // the lazy fill is mutable-under-const with no lock.
                 (void)group.instance->netlist->topological_order();
+                (void)group.instance->netlist->key_cone();
                 attack::OracleService::Options sopts;
                 sopts.enable_cache = group.cache_enabled;
                 sopts.max_bytes = options_.oracle_cache_bytes;

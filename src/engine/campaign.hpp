@@ -68,6 +68,10 @@ struct JobResult {
     /// reported alongside the attack name so backend comparisons need no
     /// extra instrumentation.
     std::string solver_backend = "internal";
+    /// CNF encoder mode the attack used (AttackOptions::encoder). Rides the
+    /// JSON report and journal only — the deterministic CSV layout predates
+    /// encoder selection and stays frozen.
+    std::string encoder = "legacy";
     std::uint64_t spec_seed = 0;
     std::uint64_t derived_seed = 0;
     std::size_t protected_cells = 0;

@@ -113,6 +113,12 @@ void write_spec(JsonWriter& w, const JobSpec& spec) {
     w.value_full(spec.attack_options.appsat_error_threshold);
     w.key("solver_backend");
     w.value(spec.attack_options.solver_backend);
+    // Additive to journal v1, and written only off-default so legacy job
+    // keys (fnv1a over the spec JSON) and plan fingerprints are unchanged.
+    if (spec.attack_options.encoder != "legacy") {
+        w.key("encoder");
+        w.value(spec.attack_options.encoder);
+    }
     w.key("solver");
     write_solver_options(w, spec.attack_options.solver);
     w.end_object();
@@ -138,6 +144,8 @@ void write_result(JsonWriter& w, const JobResult& r) {
     w.value(r.attack);
     w.key("solver_backend");
     w.value(r.solver_backend);
+    w.key("encoder");
+    w.value(r.encoder);
     w.key("spec_seed");
     w.value(r.spec_seed);
     w.key("derived_seed");
@@ -203,6 +211,28 @@ void write_result(JsonWriter& w, const JobResult& r) {
     w.value(static_cast<std::int64_t>(r.result.portfolio_winner));
     w.key("portfolio_width");
     w.value(static_cast<std::int64_t>(r.result.portfolio_width));
+    // CNF-encoder telemetry (additive; legacy-era records decode to zeros).
+    w.key("encoder_stats");
+    w.begin_object();
+    w.key("vars");
+    w.value(r.result.encoder_stats.vars);
+    w.key("clauses");
+    w.value(r.result.encoder_stats.clauses);
+    w.key("gates_folded");
+    w.value(r.result.encoder_stats.gates_folded);
+    w.key("hash_hits");
+    w.value(r.result.encoder_stats.hash_hits);
+    w.key("agreements");
+    w.value(r.result.encoder_stats.agreements);
+    w.key("agreement_vars");
+    w.value(r.result.encoder_stats.agreement_vars);
+    w.key("agreement_clauses");
+    w.value(r.result.encoder_stats.agreement_clauses);
+    w.key("cone_gates");
+    w.value(r.result.encoder_stats.cone_gates);
+    w.key("sim_gates");
+    w.value(r.result.encoder_stats.sim_gates);
+    w.end_object();
     w.end_object();
     w.key("oracle_stats");
     w.begin_object();
@@ -320,6 +350,7 @@ std::optional<JobSpec> spec_from_value(const json::Value& v) {
             *o, "appsat_error_threshold", opt.appsat_error_threshold);
         opt.solver_backend =
             string_field(*o, "solver_backend", opt.solver_backend);
+        opt.encoder = string_field(*o, "encoder", opt.encoder);
         if (const json::Value* s = o->find("solver"); s && s->is_object()) {
             opt.solver.use_vsids =
                 bool_field(*s, "use_vsids", opt.solver.use_vsids);
@@ -375,6 +406,7 @@ std::optional<JobResult> result_from_value(const json::Value& v) {
     r.defense = string_field(v, "defense");
     r.attack = string_field(v, "attack");
     r.solver_backend = string_field(v, "solver_backend", r.solver_backend);
+    r.encoder = string_field(v, "encoder", r.encoder);
     r.spec_seed = u64_field(v, "spec_seed");
     r.derived_seed = u64_field(v, "derived_seed");
     r.protected_cells = static_cast<std::size_t>(
@@ -423,6 +455,18 @@ std::optional<JobResult> result_from_value(const json::Value& v) {
         i64_field(*a, "portfolio_winner", r.result.portfolio_winner));
     r.result.portfolio_width = static_cast<int>(
         i64_field(*a, "portfolio_width", r.result.portfolio_width));
+    if (const json::Value* e = a->find("encoder_stats"); e && e->is_object()) {
+        sat::EncoderStats& es = r.result.encoder_stats;
+        es.vars = u64_field(*e, "vars", 0);
+        es.clauses = u64_field(*e, "clauses", 0);
+        es.gates_folded = u64_field(*e, "gates_folded", 0);
+        es.hash_hits = u64_field(*e, "hash_hits", 0);
+        es.agreements = u64_field(*e, "agreements", 0);
+        es.agreement_vars = u64_field(*e, "agreement_vars", 0);
+        es.agreement_clauses = u64_field(*e, "agreement_clauses", 0);
+        es.cone_gates = u64_field(*e, "cone_gates", 0);
+        es.sim_gates = u64_field(*e, "sim_gates", 0);
+    }
     if (const json::Value* o = v.find("oracle_stats"); o && o->is_object()) {
         r.oracle_stats.calls = u64_field(*o, "calls");
         r.oracle_stats.single_calls = u64_field(*o, "single_calls");

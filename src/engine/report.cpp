@@ -93,6 +93,8 @@ std::string campaign_json(const CampaignResult& result) {
         w.value(j.attack);
         w.key("solver_backend");
         w.value(j.solver_backend);
+        w.key("encoder");
+        w.value(j.encoder);
         w.key("seed");
         w.value(j.spec_seed);
         w.key("derived_seed");
@@ -129,6 +131,29 @@ std::string campaign_json(const CampaignResult& result) {
             w.value(static_cast<std::int64_t>(r.portfolio_winner));
             w.key("portfolio_width");
             w.value(static_cast<std::int64_t>(r.portfolio_width));
+            w.end_object();
+            // CNF-emission telemetry. JSON-only, like wall clock: the
+            // deterministic CSV layout stays frozen.
+            w.key("encoder_stats");
+            w.begin_object();
+            w.key("vars");
+            w.value(r.encoder_stats.vars);
+            w.key("clauses");
+            w.value(r.encoder_stats.clauses);
+            w.key("gates_folded");
+            w.value(r.encoder_stats.gates_folded);
+            w.key("hash_hits");
+            w.value(r.encoder_stats.hash_hits);
+            w.key("agreements");
+            w.value(r.encoder_stats.agreements);
+            w.key("agreement_vars");
+            w.value(r.encoder_stats.agreement_vars);
+            w.key("agreement_clauses");
+            w.value(r.encoder_stats.agreement_clauses);
+            w.key("cone_gates");
+            w.value(r.encoder_stats.cone_gates);
+            w.key("sim_gates");
+            w.value(r.encoder_stats.sim_gates);
             w.end_object();
             w.key("oracle");
             w.begin_object();

@@ -113,12 +113,14 @@ int Netlist::camouflage(GateId g, std::vector<core::Bool2> candidates,
             "camouflage: true function not in candidate set");
     camo_cells_.push_back(std::move(cell));
     gate_ref.camo_index = static_cast<std::int32_t>(camo_cells_.size() - 1);
+    cone_valid_ = false;
     return gate_ref.camo_index;
 }
 
 void Netlist::clear_camouflage() {
     for (const CamoCell& c : camo_cells_) gates_[c.gate].camo_index = -1;
     camo_cells_.clear();
+    cone_valid_ = false;
 }
 
 std::size_t Netlist::logic_gate_count() const {
@@ -134,7 +136,10 @@ int Netlist::key_bit_count() const {
     return bits;
 }
 
-void Netlist::invalidate_caches() const { caches_valid_ = false; }
+void Netlist::invalidate_caches() const {
+    caches_valid_ = false;
+    cone_valid_ = false;
+}
 
 const std::vector<GateId>& Netlist::topological_order() const {
     if (caches_valid_) return topo_cache_;
@@ -184,6 +189,39 @@ const std::vector<GateId>& Netlist::topological_order() const {
 const std::vector<std::vector<GateId>>& Netlist::fanouts() const {
     topological_order();  // builds both caches
     return fanout_cache_;
+}
+
+const std::vector<char>& Netlist::key_cone() const {
+    if (cone_valid_) return cone_cache_;
+    const auto& fanout = fanouts();
+    cone_cache_.assign(gates_.size(), 0);
+    std::vector<GateId> work;
+    for (const CamoCell& c : camo_cells_) {
+        if (cone_cache_[c.gate] != 0) continue;
+        cone_cache_[c.gate] = 1;
+        work.push_back(c.gate);
+    }
+    while (!work.empty()) {
+        const GateId id = work.back();
+        work.pop_back();
+        for (const GateId out : fanout[id]) {
+            // DFF consumers are sequential sinks: the D pin is inside the
+            // cone, the Q output is a fresh source (not marked).
+            if (gates_[out].type != CellType::Logic) continue;
+            if (cone_cache_[out] != 0) continue;
+            cone_cache_[out] = 1;
+            work.push_back(out);
+        }
+    }
+    cone_size_ = 0;
+    for (const char f : cone_cache_) cone_size_ += f != 0 ? 1 : 0;
+    cone_valid_ = true;
+    return cone_cache_;
+}
+
+std::size_t Netlist::key_cone_size() const {
+    key_cone();
+    return cone_size_;
 }
 
 std::vector<int> Netlist::levels() const {

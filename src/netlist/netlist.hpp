@@ -123,6 +123,20 @@ public:
     /// Fanout lists (computed on demand, cached alongside the topo order).
     const std::vector<std::vector<GateId>>& fanouts() const;
 
+    /// Key-cone membership: flag[id] != 0 iff gate id is a camouflaged cell
+    /// or transitively downstream of one — the only gates whose value can
+    /// depend on the key. Everything outside the cone is a pure function of
+    /// the primary inputs, which is what lets the compact CNF encoder
+    /// replace it with simulated constants per DIP. Cached like the topo
+    /// order (prewarm with an initial call before sharing the netlist across
+    /// threads); invalidated by structural mutation AND by camouflage() /
+    /// clear_camouflage(), which change the cone without changing the graph.
+    /// Propagation stops at DFF boundaries (combinational view, like the
+    /// topo order).
+    const std::vector<char>& key_cone() const;
+    /// Number of gates inside the key cone.
+    std::size_t key_cone_size() const;
+
     /// Longest path length in gates from any source (levelization).
     std::vector<int> levels() const;
     int depth() const;
@@ -144,6 +158,11 @@ private:
     mutable std::vector<GateId> topo_cache_;
     mutable std::vector<std::vector<GateId>> fanout_cache_;
     mutable bool caches_valid_ = false;
+    // Separate validity flag: camouflage()/clear_camouflage() change the
+    // cone but not the graph, so they must not force a topo rebuild.
+    mutable std::vector<char> cone_cache_;
+    mutable std::size_t cone_size_ = 0;
+    mutable bool cone_valid_ = false;
 };
 
 }  // namespace gshe::netlist

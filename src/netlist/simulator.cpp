@@ -82,6 +82,17 @@ std::vector<std::uint64_t> Simulator::run_impl(
     return out;
 }
 
+std::vector<char> Simulator::run_single_all(const std::vector<bool>& pi) const {
+    std::vector<std::uint64_t> words(pi.size());
+    for (std::size_t i = 0; i < pi.size(); ++i)
+        words[i] = pi[i] ? ~std::uint64_t{0} : 0;
+    (void)run_impl(words, {}, {});
+    std::vector<char> out(values_.size());
+    for (std::size_t i = 0; i < values_.size(); ++i)
+        out[i] = (values_[i] & 1) != 0 ? 1 : 0;
+    return out;
+}
+
 std::vector<bool> Simulator::run_single(const std::vector<bool>& pi) const {
     std::vector<std::uint64_t> words(pi.size());
     for (std::size_t i = 0; i < pi.size(); ++i)

@@ -44,6 +44,12 @@ public:
     /// Single-pattern convenience (bit 0 of the packed run).
     std::vector<bool> run_single(const std::vector<bool>& pi) const;
 
+    /// Single-pattern evaluation of EVERY gate (true functions): element id
+    /// is gate id's value under `pi`. One topo sweep; the compact CNF
+    /// encoder uses this to replace everything outside the key cone with
+    /// constants per DIP.
+    std::vector<char> run_single_all(const std::vector<bool>& pi) const;
+
     /// Evaluates a two-input truth table on packed words.
     static std::uint64_t eval_word(core::Bool2 fn, std::uint64_t a,
                                    std::uint64_t b) {

@@ -1,0 +1,191 @@
+#pragma once
+// Attack-encoding front end: one object that turns (camouflaged) netlists
+// into CNF for the oracle-guided attacks, in one of two modes.
+//
+//   Legacy   byte-for-byte the historical per-gate Tseitin pass of
+//            sat/tseitin.hpp — every gate a fresh variable, every constant a
+//            fresh variable plus unit clause(s). The default: the golden
+//            CSVs and every recorded search trajectory were produced by this
+//            clause stream and must keep reproducing bit for bit.
+//   Compact  the optimized encoder. Three mechanisms stack:
+//            (a) three-valued (constant/literal) propagation — constant
+//                inputs fold through plain gates at encode time, so a gate
+//                whose value is forced contributes no variable and no
+//                clause;
+//            (b) structural hashing on (normalized truth table, input
+//                literals) — the two miter copies and repeated agreement
+//                cones share subformulas instead of duplicating them
+//                (input-polarity/commutative/output-polarity normalization,
+//                AIG-style);
+//            (c) key-cone reduction in add_agreement — the DIP input is
+//                fixed, so the 64-way Simulator evaluates every gate
+//                outside Netlist::key_cone() and only the key-dependent
+//                remainder is encoded, with the simulated values injected
+//                as constants at the cone frontier. Each agreement drops
+//                from O(|circuit|) to O(|key cone|) variables.
+//            One shared constant variable serves every encode-time constant
+//            that still needs a literal (e.g. a primary output that folds).
+//
+// Both modes are deterministic: the clause stream is a pure function of the
+// call sequence, so compact-mode campaigns keep the byte-identical
+// CSV-across-threads/shards/resume contract — against their own compact
+// baseline. Mode selection is campaign data (AttackOptions::encoder →
+// JobSpec → journal → run_campaign --encoder=...).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/backend.hpp"
+
+namespace gshe::sat {
+
+enum class EncoderMode { Legacy, Compact };
+
+/// Registry-style spelling ("legacy" / "compact").
+const std::string& encoder_mode_name(EncoderMode mode);
+/// Inverse; std::nullopt for unrecognized spellings.
+std::optional<EncoderMode> encoder_mode_from_name(const std::string& name);
+/// All mode spellings, for CLI/usage errors.
+std::vector<std::string> encoder_mode_names();
+
+/// Counters of what one encoder instance emitted and saved. vars/clauses
+/// are measured as backend deltas around each public call, so legacy and
+/// compact instances are comparable; the fold/hash/cone counters are
+/// compact-mode mechanics (zero in legacy mode). Rides JSON/journal only —
+/// never the deterministic CSV.
+struct EncoderStats {
+    std::uint64_t vars = 0;     ///< solver variables created by this encoder
+    std::uint64_t clauses = 0;  ///< clauses emitted by this encoder
+    std::uint64_t gates_folded = 0;  ///< gates reduced to constants/aliases
+    std::uint64_t hash_hits = 0;     ///< subformulas served from the hash
+    std::uint64_t agreements = 0;       ///< add_agreement calls
+    std::uint64_t agreement_vars = 0;    ///< vars from agreements alone
+    std::uint64_t agreement_clauses = 0; ///< clauses from agreements alone
+    std::uint64_t cone_gates = 0;  ///< cone gates encoded across agreements
+    std::uint64_t sim_gates = 0;   ///< gates replaced by simulation instead
+};
+
+/// Field-wise sum — attacks use several encoders (miter + key extraction)
+/// and report one combined counter set.
+void accumulate(EncoderStats& into, const EncoderStats& from);
+
+/// Variable/literal map of one circuit instance. Unlike the legacy
+/// CircuitEncoding, outputs are literals: a compact-mode output may fold to
+/// a constant or to the complement of an internal node.
+struct Encoding {
+    std::vector<Var> pis;   ///< one var per primary input (netlist order)
+    std::vector<Lit> outs;  ///< one literal per primary output
+    std::vector<Var> keys;  ///< key vars, concatenated per camo cell
+    /// Offset of each camo cell's key bits within `keys`.
+    std::vector<int> key_offset;
+};
+
+/// The encoder, bound to one backend for its lifetime. Hash/constant state
+/// persists across calls — sound for incremental solving because gate
+/// definitions are monotone (re-encoding would only re-add the identical
+/// clauses) — which is exactly what lets miter copies and agreement cones
+/// share structure.
+class CircuitEncoder {
+public:
+    explicit CircuitEncoder(SolverBackend& solver,
+                            EncoderMode mode = EncoderMode::Legacy);
+
+    EncoderMode mode() const { return mode_; }
+    const EncoderStats& stats() const { return stats_; }
+
+    /// Encodes one instance of `nl` (shared_pis/shared_keys as in the
+    /// legacy encoder). The netlist must be combinational.
+    Encoding encode(const netlist::Netlist& nl,
+                    const std::vector<Var>& shared_pis = {},
+                    const std::vector<Var>& shared_keys = {});
+
+    /// Adds the agreement constraint "the key selected by `keys` must map
+    /// input x to oracle response y". Legacy: a full circuit copy with
+    /// fixed inputs/outputs. Compact: simulate outside the key cone,
+    /// encode only the cone with frontier constants; a non-cone output
+    /// that contradicts y falsifies the formula outright (the stochastic-
+    /// oracle inconsistency case).
+    void add_agreement(const netlist::Netlist& nl,
+                       const std::vector<Var>& keys,
+                       const std::vector<bool>& x,
+                       const std::vector<bool>& y);
+
+    /// Constrains vectors a and b to differ in at least one position.
+    void add_difference(const std::vector<Lit>& a, const std::vector<Lit>& b);
+    /// Same over raw variables (key vectors).
+    void add_difference(const std::vector<Var>& a, const std::vector<Var>& b);
+
+    /// The shared constant literal of the given polarity. One variable per
+    /// encoder serves both polarities (fixed true once, on first use).
+    Lit constant(bool value);
+
+private:
+    /// Encode-time value: a literal or a known constant.
+    struct XLit {
+        // code >= 0: a Lit code; kTrue/kFalse: constants.
+        static constexpr std::int32_t kTrue = -1;
+        static constexpr std::int32_t kFalse = -2;
+        std::int32_t code = kFalse;
+
+        static XLit constant(bool v) { return {v ? kTrue : kFalse}; }
+        static XLit lit(Lit l) { return {static_cast<std::int32_t>(l.code())}; }
+        bool is_const() const { return code < 0; }
+        bool const_value() const { return code == kTrue; }
+        Lit as_lit() const { return Lit::from_code(code); }
+        XLit negated() const {
+            if (is_const()) return constant(!const_value());
+            return lit(~as_lit());
+        }
+        bool operator==(const XLit&) const = default;
+    };
+
+    struct PlainKey {
+        Var a = kNoVar;
+        Var b = kNoVar;
+        std::uint8_t tt = 0;
+        bool operator==(const PlainKey&) const = default;
+    };
+    struct PlainKeyHash {
+        std::size_t operator()(const PlainKey& k) const {
+            std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+            h = (h ^ static_cast<std::uint64_t>(k.a)) * 0x100000001b3ULL;
+            h = (h ^ static_cast<std::uint64_t>(k.b)) * 0x100000001b3ULL;
+            h = (h ^ k.tt) * 0x100000001b3ULL;
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    // ---- compact-mode machinery --------------------------------------------
+    XLit encode_fn(core::Bool2 fn, XLit a, XLit b);
+    XLit encode_camo(const netlist::CamoCell& cell, XLit a, XLit b,
+                     bool has_b, const std::vector<Var>& key_bits);
+    XLit unary_of(XLit x, bool f0, bool f1);
+    XLit xlit_of(Lit l) const;
+    Lit realize(XLit x);
+    /// Falsifies the formula at the root (empty clause).
+    void contradict();
+
+    Encoding encode_compact(const netlist::Netlist& nl,
+                            const std::vector<Var>& shared_pis,
+                            const std::vector<Var>& shared_keys);
+    void add_agreement_compact(const netlist::Netlist& nl,
+                               const std::vector<Var>& keys,
+                               const std::vector<bool>& x,
+                               const std::vector<bool>& y);
+
+    SolverBackend& solver_;
+    EncoderMode mode_;
+    EncoderStats stats_;
+
+    std::unordered_map<PlainKey, Var, PlainKeyHash> plain_hash_;
+    std::unordered_map<std::string, std::int32_t> camo_hash_;
+    std::unordered_set<std::string> forbidden_done_;
+    Var const_var_ = kNoVar;
+};
+
+}  // namespace gshe::sat

@@ -330,6 +330,82 @@ inline void write_encoder_bench_json(const std::string& path,
                 legacy.jobs.size());
 }
 
+/// BENCH_extraction.json: fresh vs in-place key extraction on the same job
+/// matrix. Per-job rows carry the extraction telemetry (in-place solves,
+/// re-encode work avoided, agreement-only growth check inputs); the
+/// headline geomeans cover the settlement-heavy AppSAT axis and the whole
+/// matrix. Wall-clock fields are measured, not byte-reproducible.
+inline void write_extraction_bench_json(
+    const std::string& path, const std::vector<std::string>& labels,
+    const engine::CampaignResult& fresh, const engine::CampaignResult& inplace,
+    double appsat_speedup_geomean, double wall_speedup_geomean) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("bench");
+    w.value("extraction");
+    w.key("jobs");
+    w.value(static_cast<std::uint64_t>(fresh.jobs.size()));
+    w.key("modes");
+    w.begin_array();
+    const engine::CampaignResult* campaigns[2] = {&fresh, &inplace};
+    const char* names[2] = {"fresh", "inplace"};
+    for (int m = 0; m < 2; ++m) {
+        const engine::CampaignResult& campaign = *campaigns[m];
+        w.begin_object();
+        w.key("mode");
+        w.value(names[m]);
+        w.key("wall_seconds");
+        w.value(campaign.wall_seconds);
+        w.key("jobs");
+        w.begin_array();
+        for (std::size_t i = 0; i < campaign.jobs.size(); ++i) {
+            const engine::JobResult& j = campaign.jobs[i];
+            const auto& es = j.result.encoder_stats;
+            w.begin_object();
+            if (i < labels.size()) {
+                w.key("label");
+                w.value(labels[i]);
+            }
+            w.key("attack");
+            w.value(j.attack);
+            w.key("status");
+            w.value(status_cell(j));
+            w.key("iterations");
+            w.value(static_cast<std::uint64_t>(j.result.iterations));
+            w.key("attack_seconds");
+            w.value(j.result.seconds);
+            w.key("vars");
+            w.value(es.vars);
+            w.key("clauses");
+            w.value(es.clauses);
+            w.key("agreements");
+            w.value(es.agreements);
+            w.key("agreement_vars");
+            w.value(es.agreement_vars);
+            w.key("agreement_clauses");
+            w.value(es.agreement_clauses);
+            w.key("inplace_extractions");
+            w.value(j.result.inplace_extractions);
+            w.key("reencode_vars_avoided");
+            w.value(j.result.reencode_vars_avoided);
+            w.key("reencode_clauses_avoided");
+            w.value(j.result.reencode_clauses_avoided);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("appsat_speedup_geomean");
+    w.value(appsat_speedup_geomean);
+    w.key("wall_speedup_geomean");
+    w.value(wall_speedup_geomean);
+    w.end_object();
+    write_text_file(path, w.str() + "\n");
+    std::printf("wrote %s (%zu jobs x 2 modes)\n", path.c_str(),
+                fresh.jobs.size());
+}
+
 inline void banner(const char* id, const char* title) {
     std::printf("\n================================================================\n");
     std::printf("%s — %s\n", id, title);

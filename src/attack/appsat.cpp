@@ -21,22 +21,34 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
         return res;
     }
 
+    const auto extraction = detail::resolve_extraction_mode(base);
     const std::unique_ptr<sat::SolverBackend> solver_ptr =
         detail::make_attack_solver(base);
     sat::SolverBackend& solver = *solver_ptr;
     sat::CircuitEncoder encoder(solver, detail::resolve_encoder_mode(base));
     const auto enc1 = encoder.encode(camo_nl);
     const auto enc2 = encoder.encode(camo_nl, enc1.pis);
-    encoder.add_difference(enc1.outs, enc2.outs);
+    // Fresh keeps the historical unconditional difference; inplace routes it
+    // through a selector so settlement extraction is one assumption solve on
+    // this same solver instead of a fresh-solver history replay (the path
+    // that made settlement quadratic in history length).
+    std::optional<sat::Lit> guard;
+    if (extraction == attack::ExtractionMode::Inplace) {
+        guard = sat::Lit(solver.new_var(), false);
+        encoder.add_difference(enc1.outs, enc2.outs, *guard);
+    } else {
+        encoder.add_difference(enc1.outs, enc2.outs);
+    }
+    const std::vector<sat::Lit> assumptions =
+        guard ? std::vector<sat::Lit>{*guard} : std::vector<sat::Lit>{};
 
     netlist::Simulator sim(camo_nl);
     Rng sample_rng(options.sample_seed);
     History history;
 
     auto record = [&](std::vector<bool> x, std::vector<bool> y) {
-        encoder.add_agreement(camo_nl, enc1.keys, x, y);
-        encoder.add_agreement(camo_nl, enc2.keys, x, y);
-        history.add(std::move(x), std::move(y));
+        if (!history.add(x, y)) return;  // exact duplicate: CNF already holds
+        encoder.add_agreement_pair(camo_nl, enc1.keys, enc2.keys, x, y);
     };
 
     while (true) {
@@ -50,22 +62,14 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
         }
         detail::set_remaining_budget(solver, base, timer);
 
-        const auto r = solver.solve();
+        const auto r = solver.solve(assumptions);
         if (r == sat::SolveResult::Unknown) {
             res.status = AttackResult::Status::TimedOut;
             break;
         }
         if (r == sat::SolveResult::Unsat) {
-            bool timed_out = false;
-            const auto key = detail::extract_consistent_key(
-                camo_nl, history, base, timer, &timed_out, &res.encoder_stats);
-            if (key) {
-                res.status = AttackResult::Status::Success;
-                res.key = *key;
-            } else {
-                res.status = timed_out ? AttackResult::Status::TimedOut
-                                       : AttackResult::Status::Inconsistent;
-            }
+            detail::finish_by_extraction(res, camo_nl, history, base, timer,
+                                         solver, enc1.keys, guard);
             break;
         }
 
@@ -77,8 +81,12 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
         // Settlement: estimate the candidate key's error on random queries.
         if (res.iterations % options.settle_every != 0) continue;
         bool timed_out = false;
-        const auto candidate = detail::extract_consistent_key(
-            camo_nl, history, base, timer, &timed_out, &res.encoder_stats);
+        const auto candidate =
+            guard ? detail::extract_inplace(solver, enc1.keys, *guard, base,
+                                            timer, &timed_out, res)
+                  : detail::extract_consistent_key(camo_nl, history, base,
+                                                   timer, &timed_out,
+                                                   &res.encoder_stats);
         if (!candidate) {
             if (timed_out) {
                 res.status = AttackResult::Status::TimedOut;
@@ -120,8 +128,20 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
             res.key = *candidate;
             break;
         }
-        for (std::size_t i = 0; i < wrong_inputs.size(); ++i)
-            record(std::move(wrong_inputs[i]), std::move(wrong_outputs[i]));
+        // Reinforce with every queued wrong pattern in one batched encode:
+        // the compact encoder's simulation sweeps run packed (64 patterns a
+        // sweep) instead of single-lane per pattern. Duplicates already in
+        // the history are dropped first; the clause stream matches the
+        // per-pattern record calls exactly.
+        std::vector<std::vector<bool>> fresh_inputs;
+        std::vector<std::vector<bool>> fresh_outputs;
+        for (std::size_t i = 0; i < wrong_inputs.size(); ++i) {
+            if (!history.add(wrong_inputs[i], wrong_outputs[i])) continue;
+            fresh_inputs.push_back(std::move(wrong_inputs[i]));
+            fresh_outputs.push_back(std::move(wrong_outputs[i]));
+        }
+        encoder.add_agreement_batch(camo_nl, {enc1.keys, enc2.keys},
+                                    fresh_inputs, fresh_outputs);
     }
 
     res.solver_stats = solver.stats();

@@ -5,12 +5,39 @@
 #include <limits>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "camo/key.hpp"
 #include "sat/encoder.hpp"
 #include "sat/solver.hpp"
 
 namespace gshe::attack {
+
+/// How the oracle-guided attacks recover a key once the miter goes Unsat
+/// (and at every AppSAT settlement):
+///
+///   Fresh    the historical scheme — a fresh solver re-encodes the full
+///            circuit plus the entire DIP history per extraction. The
+///            default: recorded golden trajectories were produced by this
+///            scheme and must keep reproducing bit for bit.
+///   Inplace  extraction runs on the live miter solver. The miter's
+///            output-difference clauses are routed through a selector
+///            literal d; DIP iterations solve under assumption {d}, key
+///            extraction under {~d} — all agreements, learned clauses and
+///            inprocessing state persist, and no re-encode happens at all.
+///
+/// Both modes are deterministic; inplace changes solver trajectories (the
+/// extraction solves share the miter solver's cumulative conflict
+/// allowance, where fresh gives each extraction its own), so it is campaign
+/// data exactly like the encoder mode.
+enum class ExtractionMode { Fresh, Inplace };
+
+/// Registry-style spelling ("fresh" / "inplace").
+const std::string& extraction_mode_name(ExtractionMode mode);
+/// Inverse; std::nullopt for unrecognized spellings.
+std::optional<ExtractionMode> extraction_mode_from_name(const std::string& name);
+/// All mode spellings, for CLI/usage errors.
+std::vector<std::string> extraction_mode_names();
 
 struct AttackOptions {
     /// Wall-clock budget for the whole attack; exceeded => Status::TimedOut
@@ -50,6 +77,12 @@ struct AttackOptions {
     /// hashing + key-cone-reduced agreements). Unknown names make the
     /// attack throw with the list of modes. Both modes are deterministic.
     std::string encoder = "legacy";
+    /// Key-extraction mode (ExtractionMode above): "fresh" (per-extraction
+    /// solver + full-history replay — the default, pinned so recorded
+    /// golden trajectories keep reproducing bit-for-bit) or "inplace"
+    /// (assumption-guarded extraction on the live miter solver). Unknown
+    /// names make the attack throw with the list of modes.
+    std::string extraction = "fresh";
 };
 
 struct AttackResult {
@@ -80,6 +113,16 @@ struct AttackResult {
     /// (miter plus key-extraction solvers). Telemetry only: rides the JSON
     /// report and journal, never the deterministic CSV.
     sat::EncoderStats encoder_stats;
+    /// In-place extraction telemetry (extraction mode "inplace"; all zero
+    /// under "fresh"). Deterministic — counted at fixed points of the
+    /// attack loop — but rides JSON/journal only, like encoder_stats.
+    /// Key extractions answered by an assumption solve on the live miter
+    /// solver (each one a fresh-solver build + full-history replay avoided).
+    std::uint64_t inplace_extractions = 0;
+    /// Formula size whose re-encode those extractions skipped: the live
+    /// solver's variable/clause counts summed at each in-place extraction.
+    std::uint64_t reencode_vars_avoided = 0;
+    std::uint64_t reencode_clauses_avoided = 0;
 
     bool timed_out() const { return status == Status::TimedOut; }
     static std::string status_name(Status s);

@@ -1,7 +1,5 @@
 #include "attack/double_dip.hpp"
 
-#include <array>
-
 #include "attack/miter_detail.hpp"
 #include "attack/sat_attack.hpp"
 #include "common/timer.hpp"
@@ -40,8 +38,6 @@ AttackResult double_dip_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
     encoder.add_difference(enc2.keys, enc4.keys);
 
     History history;
-    const std::array<const sat::Encoding*, 4> encs = {&enc1, &enc2, &enc3,
-                                                      &enc4};
     while (true) {
         if (res.iterations >= options.max_iterations) {
             res.status = AttackResult::Status::IterationCap;
@@ -75,8 +71,12 @@ AttackResult double_dip_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
         ++res.iterations;
         std::vector<bool> dip = detail::model_values(solver, enc1.pis);
         std::vector<bool> response = oracle.query_single(dip);
-        for (const auto* e : encs)
-            encoder.add_agreement(camo_nl, e->keys, dip, response);
+        // Two pair agreements instead of four singles: the compact encoder
+        // simulates the DIP once per pair, with an unchanged clause stream.
+        encoder.add_agreement_pair(camo_nl, enc1.keys, enc2.keys, dip,
+                                   response);
+        encoder.add_agreement_pair(camo_nl, enc3.keys, enc4.keys, dip,
+                                   response);
         history.add(std::move(dip), std::move(response));
     }
 

@@ -28,6 +28,17 @@ sat::EncoderMode resolve_encoder_mode(const AttackOptions& options) {
     return resolve_encoder_mode(options.encoder);
 }
 
+ExtractionMode resolve_extraction_mode(const std::string& name) {
+    if (const auto mode = extraction_mode_from_name(name)) return *mode;
+    std::string msg = "unknown extraction '" + name + "'; known extractions:";
+    for (const std::string& n : extraction_mode_names()) msg += " " + n;
+    throw std::invalid_argument(msg);
+}
+
+ExtractionMode resolve_extraction_mode(const AttackOptions& options) {
+    return resolve_extraction_mode(options.extraction);
+}
+
 void capture_solver_identity(AttackResult& res,
                              const sat::SolverBackend& solver) {
     res.portfolio_width = solver.portfolio_width();
@@ -59,11 +70,12 @@ std::optional<camo::Key> extract_consistent_key(const netlist::Netlist& nl,
         make_attack_solver(options);
     sat::CircuitEncoder encoder(*solver, resolve_encoder_mode(options));
     // One free copy creates the key variables together with their
-    // valid-code constraints.
+    // valid-code constraints. The history replays through the batched
+    // agreement API: the clause stream is identical to per-entry calls, but
+    // the compact encoder's simulation sweeps run 64 entries at a time.
     const sat::Encoding enc = encoder.encode(nl);
-    for (std::size_t i = 0; i < history.size(); ++i)
-        encoder.add_agreement(nl, enc.keys, history.inputs[i],
-                              history.outputs[i]);
+    encoder.add_agreement_batch(nl, {enc.keys}, history.inputs,
+                                history.outputs);
     if (stats != nullptr) sat::accumulate(*stats, encoder.stats());
 
     set_remaining_budget(*solver, options, timer);
@@ -82,12 +94,61 @@ std::optional<camo::Key> extract_consistent_key(const netlist::Netlist& nl,
     return std::nullopt;
 }
 
+std::optional<camo::Key> extract_inplace(sat::SolverBackend& solver,
+                                         const std::vector<sat::Var>& keys,
+                                         sat::Lit guard,
+                                         const AttackOptions& options,
+                                         const Timer& timer, bool* timed_out,
+                                         AttackResult& res) {
+    if (timed_out != nullptr) *timed_out = false;
+    ++res.inplace_extractions;
+    res.reencode_vars_avoided += static_cast<std::uint64_t>(solver.num_vars());
+    res.reencode_clauses_avoided +=
+        static_cast<std::uint64_t>(solver.num_clauses());
+
+    set_remaining_budget(solver, options, timer);
+    switch (solver.solve({~guard})) {
+        case sat::SolveResult::Sat: {
+            camo::Key key;
+            key.bits = model_values(solver, keys);
+            return key;
+        }
+        case sat::SolveResult::Unsat:
+            return std::nullopt;
+        case sat::SolveResult::Unknown:
+            if (timed_out != nullptr) *timed_out = true;
+            return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+void finish_by_extraction(AttackResult& res, const netlist::Netlist& nl,
+                          const History& history, const AttackOptions& options,
+                          const Timer& timer, sat::SolverBackend& solver,
+                          const std::vector<sat::Var>& keys,
+                          std::optional<sat::Lit> guard) {
+    bool timed_out = false;
+    const std::optional<camo::Key> key =
+        guard ? extract_inplace(solver, keys, *guard, options, timer,
+                                &timed_out, res)
+              : extract_consistent_key(nl, history, options, timer, &timed_out,
+                                       &res.encoder_stats);
+    if (key) {
+        res.status = AttackResult::Status::Success;
+        res.key = *key;
+    } else {
+        res.status = timed_out ? AttackResult::Status::TimedOut
+                               : AttackResult::Status::Inconsistent;
+    }
+}
+
 AttackResult run_single_dip_loop(const netlist::Netlist& camo_nl,
                                  Oracle& oracle, const AttackOptions& options,
                                  const Timer& timer, History& history,
                                  std::size_t prior_iterations) {
     AttackResult res;
     res.iterations = prior_iterations;
+    const ExtractionMode extraction = resolve_extraction_mode(options);
 
     const std::unique_ptr<sat::SolverBackend> solver_ptr =
         make_attack_solver(options);
@@ -95,13 +156,21 @@ AttackResult run_single_dip_loop(const netlist::Netlist& camo_nl,
     sat::CircuitEncoder encoder(solver, resolve_encoder_mode(options));
     const auto enc1 = encoder.encode(camo_nl);
     const auto enc2 = encoder.encode(camo_nl, enc1.pis);
-    encoder.add_difference(enc1.outs, enc2.outs);
-    for (std::size_t i = 0; i < history.size(); ++i) {
-        encoder.add_agreement(camo_nl, enc1.keys, history.inputs[i],
-                              history.outputs[i]);
-        encoder.add_agreement(camo_nl, enc2.keys, history.inputs[i],
-                              history.outputs[i]);
+    // Inplace: the difference rides a selector literal, so the one solver
+    // serves both faces of the attack — DIP solves assume {guard}, key
+    // extraction assumes {~guard}. Fresh: the historical unconditional
+    // difference, preserving the recorded clause stream bit for bit.
+    std::optional<sat::Lit> guard;
+    if (extraction == ExtractionMode::Inplace) {
+        guard = sat::Lit(solver.new_var(), false);
+        encoder.add_difference(enc1.outs, enc2.outs, *guard);
+    } else {
+        encoder.add_difference(enc1.outs, enc2.outs);
     }
+    encoder.add_agreement_batch(camo_nl, {enc1.keys, enc2.keys},
+                                history.inputs, history.outputs);
+    const std::vector<sat::Lit> assumptions =
+        guard ? std::vector<sat::Lit>{*guard} : std::vector<sat::Lit>{};
 
     while (true) {
         if (res.iterations >= options.max_iterations) {
@@ -114,24 +183,15 @@ AttackResult run_single_dip_loop(const netlist::Netlist& camo_nl,
         }
         set_remaining_budget(solver, options, timer);
 
-        const auto r = solver.solve();
+        const auto r = solver.solve(assumptions);
         if (r == sat::SolveResult::Unknown) {
             res.status = AttackResult::Status::TimedOut;
             break;
         }
         if (r == sat::SolveResult::Unsat) {
             // No distinguishing input remains: extract any consistent key.
-            bool timed_out = false;
-            const auto key =
-                extract_consistent_key(camo_nl, history, options, timer,
-                                       &timed_out, &res.encoder_stats);
-            if (key) {
-                res.status = AttackResult::Status::Success;
-                res.key = *key;
-            } else {
-                res.status = timed_out ? AttackResult::Status::TimedOut
-                                       : AttackResult::Status::Inconsistent;
-            }
+            finish_by_extraction(res, camo_nl, history, options, timer, solver,
+                                 enc1.keys, guard);
             break;
         }
 
@@ -139,8 +199,8 @@ AttackResult run_single_dip_loop(const netlist::Netlist& camo_nl,
         ++res.iterations;
         std::vector<bool> dip = model_values(solver, enc1.pis);
         std::vector<bool> response = oracle.query_single(dip);
-        encoder.add_agreement(camo_nl, enc1.keys, dip, response);
-        encoder.add_agreement(camo_nl, enc2.keys, dip, response);
+        encoder.add_agreement_pair(camo_nl, enc1.keys, enc2.keys, dip,
+                                   response);
         history.add(std::move(dip), std::move(response));
     }
 

@@ -31,9 +31,23 @@ struct History {
     std::vector<std::vector<bool>> outputs;
 
     std::size_t size() const { return inputs.size(); }
-    void add(std::vector<bool> x, std::vector<bool> y) {
+    /// True when the exact pair is already recorded. The same input with a
+    /// *different* output is not a duplicate — a stochastic oracle answering
+    /// inconsistently is an observation the attacks must keep.
+    bool contains(const std::vector<bool>& x, const std::vector<bool>& y) const {
+        for (std::size_t i = 0; i < inputs.size(); ++i)
+            if (inputs[i] == x && outputs[i] == y) return true;
+        return false;
+    }
+    /// Records the pair unless it is an exact duplicate (AppSAT's random
+    /// reinforcement can re-draw a pattern across settlement rounds, which
+    /// would re-emit identical agreement CNF on every later extraction).
+    /// Returns whether the pair was new.
+    bool add(std::vector<bool> x, std::vector<bool> y) {
+        if (contains(x, y)) return false;
         inputs.push_back(std::move(x));
         outputs.push_back(std::move(y));
+        return true;
     }
 };
 
@@ -50,6 +64,12 @@ std::unique_ptr<sat::SolverBackend> make_attack_solver(
 sat::EncoderMode resolve_encoder_mode(const std::string& name);
 /// Same, reading AttackOptions::encoder.
 sat::EncoderMode resolve_encoder_mode(const AttackOptions& options);
+
+/// Resolves an extraction-mode name ("fresh"/"inplace") to the enum, with
+/// the same throwing contract.
+ExtractionMode resolve_extraction_mode(const std::string& name);
+/// Same, reading AttackOptions::extraction.
+ExtractionMode resolve_extraction_mode(const AttackOptions& options);
 
 /// Copies the backend's portfolio telemetry (width, last decisive winner)
 /// into the result — applied wherever solver_stats is captured, so the
@@ -82,6 +102,31 @@ std::optional<camo::Key> extract_consistent_key(const netlist::Netlist& nl,
                                                 const Timer& timer,
                                                 bool* timed_out,
                                                 sat::EncoderStats* stats = nullptr);
+
+/// In-place extraction on the live miter solver: solves under {~guard} —
+/// which relaxes the guarded difference constraint while every agreement,
+/// learned clause and inprocessing fact persists — and reads the model of
+/// `keys` as the consistent key. The solve shares the miter solver's
+/// cumulative conflict allowance (fresh mode gives each extraction its
+/// own). Counts the extraction and the skipped re-encode (the live
+/// solver's current formula size) into `res`.
+std::optional<camo::Key> extract_inplace(sat::SolverBackend& solver,
+                                         const std::vector<sat::Var>& keys,
+                                         sat::Lit guard,
+                                         const AttackOptions& options,
+                                         const Timer& timer, bool* timed_out,
+                                         AttackResult& res);
+
+/// Finishes an Unsat miter for run_single_dip_loop and appsat_attack: the
+/// single call site both extraction modes share. Recovers any
+/// history-consistent key — on the live `solver` under {~guard} when
+/// `guard` is set (inplace), via fresh-solver history replay otherwise —
+/// and sets res.status / res.key.
+void finish_by_extraction(AttackResult& res, const netlist::Netlist& nl,
+                          const History& history, const AttackOptions& options,
+                          const Timer& timer, sat::SolverBackend& solver,
+                          const std::vector<sat::Var>& keys,
+                          std::optional<sat::Lit> guard);
 
 /// Runs the classic single-DIP refinement loop to completion: build the
 /// two-copy miter, replay `history` as agreement constraints, then iterate

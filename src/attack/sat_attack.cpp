@@ -8,6 +8,26 @@ namespace gshe::attack {
 
 using detail::History;
 
+namespace {
+const std::string kFreshName = "fresh";
+const std::string kInplaceName = "inplace";
+}  // namespace
+
+const std::string& extraction_mode_name(ExtractionMode mode) {
+    return mode == ExtractionMode::Inplace ? kInplaceName : kFreshName;
+}
+
+std::optional<ExtractionMode> extraction_mode_from_name(
+    const std::string& name) {
+    if (name == kFreshName) return ExtractionMode::Fresh;
+    if (name == kInplaceName) return ExtractionMode::Inplace;
+    return std::nullopt;
+}
+
+std::vector<std::string> extraction_mode_names() {
+    return {kFreshName, kInplaceName};
+}
+
 std::string AttackResult::status_name(AttackResult::Status s) {
     switch (s) {
         case AttackResult::Status::Success: return "success";

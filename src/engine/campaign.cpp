@@ -194,6 +194,7 @@ JobResult CampaignRunner::run_job(const PlannedJob& job,
     r.attack = spec.attack;
     r.solver_backend = spec.attack_options.solver_backend;
     r.encoder = spec.attack_options.encoder;
+    r.extraction = spec.attack_options.extraction;
     r.spec_seed = spec.seed;
     r.derived_seed = job.derived_seed;
     r.oracle_group = static_cast<std::uint64_t>(job.group);

@@ -72,6 +72,9 @@ struct JobResult {
     /// JSON report and journal only — the deterministic CSV layout predates
     /// encoder selection and stays frozen.
     std::string encoder = "legacy";
+    /// Key-extraction mode the attack used (AttackOptions::extraction).
+    /// JSON/journal only, like the encoder mode.
+    std::string extraction = "fresh";
     std::uint64_t spec_seed = 0;
     std::uint64_t derived_seed = 0;
     std::size_t protected_cells = 0;

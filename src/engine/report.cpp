@@ -95,6 +95,8 @@ std::string campaign_json(const CampaignResult& result) {
         w.value(j.solver_backend);
         w.key("encoder");
         w.value(j.encoder);
+        w.key("extraction");
+        w.value(j.extraction);
         w.key("seed");
         w.value(j.spec_seed);
         w.key("derived_seed");
@@ -155,6 +157,13 @@ std::string campaign_json(const CampaignResult& result) {
             w.key("sim_gates");
             w.value(r.encoder_stats.sim_gates);
             w.end_object();
+            // In-place extraction telemetry (zeros under mode "fresh").
+            w.key("inplace_extractions");
+            w.value(r.inplace_extractions);
+            w.key("reencode_vars_avoided");
+            w.value(r.reencode_vars_avoided);
+            w.key("reencode_clauses_avoided");
+            w.value(r.reencode_clauses_avoided);
             w.key("oracle");
             w.begin_object();
             w.key("calls");

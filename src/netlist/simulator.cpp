@@ -93,6 +93,12 @@ std::vector<char> Simulator::run_single_all(const std::vector<bool>& pi) const {
     return out;
 }
 
+std::vector<std::uint64_t> Simulator::run_all(
+    std::span<const std::uint64_t> pi_words) const {
+    (void)run_impl(pi_words, {}, {});
+    return values_;
+}
+
 std::vector<bool> Simulator::run_single(const std::vector<bool>& pi) const {
     std::vector<std::uint64_t> words(pi.size());
     for (std::size_t i = 0; i < pi.size(); ++i)

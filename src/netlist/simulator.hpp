@@ -50,6 +50,13 @@ public:
     /// constants per DIP.
     std::vector<char> run_single_all(const std::vector<bool>& pi) const;
 
+    /// Packed evaluation of EVERY gate (true functions): element id is gate
+    /// id's 64-pattern word under `pi_words`. One topo sweep serves up to 64
+    /// queued patterns — the batched agreement encoder reads one lane per
+    /// DIP instead of paying a single-lane sweep each.
+    std::vector<std::uint64_t> run_all(
+        std::span<const std::uint64_t> pi_words) const;
+
     /// Evaluates a two-input truth table on packed words.
     static std::uint64_t eval_word(core::Bool2 fn, std::uint64_t a,
                                    std::uint64_t b) {

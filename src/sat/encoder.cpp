@@ -1,5 +1,6 @@
 #include "sat/encoder.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -367,7 +368,8 @@ void CircuitEncoder::add_agreement(const netlist::Netlist& nl,
         for (std::size_t o = 0; o < enc.outs.size(); ++o)
             fix_var(solver_, enc.outs[o], y[o]);
     } else {
-        add_agreement_compact(nl, keys, x, y);
+        add_agreement_compact(nl, keys, x, y,
+                              netlist::Simulator(nl).run_single_all(x));
     }
 
     const auto dv = static_cast<std::uint64_t>(solver_.num_vars()) - v0;
@@ -379,10 +381,82 @@ void CircuitEncoder::add_agreement(const netlist::Netlist& nl,
     ++stats_.agreements;
 }
 
+void CircuitEncoder::add_agreement_pair(const netlist::Netlist& nl,
+                                        const std::vector<Var>& keys1,
+                                        const std::vector<Var>& keys2,
+                                        const std::vector<bool>& x,
+                                        const std::vector<bool>& y) {
+    if (mode_ == EncoderMode::Legacy) {
+        add_agreement(nl, keys1, x, y);
+        add_agreement(nl, keys2, x, y);
+        return;
+    }
+    const auto v0 = static_cast<std::uint64_t>(solver_.num_vars());
+    const auto c0 = static_cast<std::uint64_t>(solver_.num_clauses());
+
+    const std::vector<char> values = netlist::Simulator(nl).run_single_all(x);
+    add_agreement_compact(nl, keys1, x, y, values);
+    add_agreement_compact(nl, keys2, x, y, values);
+
+    const auto dv = static_cast<std::uint64_t>(solver_.num_vars()) - v0;
+    const auto dc = static_cast<std::uint64_t>(solver_.num_clauses()) - c0;
+    stats_.vars += dv;
+    stats_.clauses += dc;
+    stats_.agreement_vars += dv;
+    stats_.agreement_clauses += dc;
+    stats_.agreements += 2;
+}
+
+void CircuitEncoder::add_agreement_batch(
+    const netlist::Netlist& nl, const std::vector<std::vector<Var>>& keys_list,
+    const std::vector<std::vector<bool>>& xs,
+    const std::vector<std::vector<bool>>& ys) {
+    if (xs.size() != ys.size())
+        throw std::invalid_argument("CircuitEncoder: batch size mismatch");
+    if (mode_ == EncoderMode::Legacy) {
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            for (const std::vector<Var>& keys : keys_list)
+                add_agreement(nl, keys, xs[i], ys[i]);
+        return;
+    }
+    const std::size_t n_pis = nl.inputs().size();
+    const netlist::Simulator sim(nl);
+    std::vector<std::uint64_t> pi_words(n_pis);
+    std::vector<char> values(nl.size());
+    for (std::size_t base = 0; base < xs.size(); base += 64) {
+        const std::size_t lanes = std::min<std::size_t>(64, xs.size() - base);
+        for (std::size_t i = 0; i < n_pis; ++i) {
+            std::uint64_t w = 0;
+            for (std::size_t j = 0; j < lanes; ++j)
+                if (xs[base + j].at(i)) w |= std::uint64_t{1} << j;
+            pi_words[i] = w;
+        }
+        const std::vector<std::uint64_t> words = sim.run_all(pi_words);
+        for (std::size_t j = 0; j < lanes; ++j) {
+            for (std::size_t g = 0; g < words.size(); ++g)
+                values[g] = static_cast<char>((words[g] >> j) & 1);
+            const auto v0 = static_cast<std::uint64_t>(solver_.num_vars());
+            const auto c0 = static_cast<std::uint64_t>(solver_.num_clauses());
+            for (const std::vector<Var>& keys : keys_list)
+                add_agreement_compact(nl, keys, xs[base + j], ys[base + j],
+                                      values);
+            const auto dv = static_cast<std::uint64_t>(solver_.num_vars()) - v0;
+            const auto dc =
+                static_cast<std::uint64_t>(solver_.num_clauses()) - c0;
+            stats_.vars += dv;
+            stats_.clauses += dc;
+            stats_.agreement_vars += dv;
+            stats_.agreement_clauses += dc;
+            stats_.agreements += keys_list.size();
+        }
+    }
+}
+
 void CircuitEncoder::add_agreement_compact(const netlist::Netlist& nl,
                                            const std::vector<Var>& keys,
                                            const std::vector<bool>& x,
-                                           const std::vector<bool>& y) {
+                                           const std::vector<bool>& y,
+                                           const std::vector<char>& values) {
     if (x.size() != nl.inputs().size())
         throw std::invalid_argument("CircuitEncoder: agreement input size mismatch");
     if (y.size() != nl.outputs().size())
@@ -393,10 +467,10 @@ void CircuitEncoder::add_agreement_compact(const netlist::Netlist& nl,
         throw std::invalid_argument("CircuitEncoder: agreement key size mismatch");
 
     // The DIP is fixed, so everything outside the key cone is a known
-    // constant: one simulator sweep replaces those gates outright, and only
+    // constant: `values` (one simulator sweep, possibly shared across key
+    // copies or a 64-lane batch) replaces those gates outright, and only
     // the key-dependent remainder is encoded, reading simulated constants at
     // the cone frontier.
-    const std::vector<char> values = netlist::Simulator(nl).run_single_all(x);
     const std::vector<char>& cone = nl.key_cone();
 
     std::vector<XLit> val(nl.size(), XLit::constant(false));
@@ -444,6 +518,17 @@ void CircuitEncoder::add_agreement_compact(const netlist::Netlist& nl,
 
 void CircuitEncoder::add_difference(const std::vector<Lit>& a,
                                     const std::vector<Lit>& b) {
+    add_difference_impl(a, b, std::nullopt);
+}
+
+void CircuitEncoder::add_difference(const std::vector<Lit>& a,
+                                    const std::vector<Lit>& b, Lit guard) {
+    add_difference_impl(a, b, guard);
+}
+
+void CircuitEncoder::add_difference_impl(const std::vector<Lit>& a,
+                                         const std::vector<Lit>& b,
+                                         std::optional<Lit> guard) {
     if (a.size() != b.size())
         throw std::invalid_argument("CircuitEncoder: add_difference size mismatch");
     const auto v0 = static_cast<std::uint64_t>(solver_.num_vars());
@@ -461,7 +546,18 @@ void CircuitEncoder::add_difference(const std::vector<Lit>& a,
             av.push_back(a[i].var());
             bv.push_back(b[i].var());
         }
-        sat::add_difference(solver_, av, bv);
+        if (!guard) {
+            sat::add_difference(solver_, av, bv);
+        } else {
+            // Same XOR/OR ladder, but the final assertion carries the guard:
+            // "guard => the copies differ somewhere" instead of a unit.
+            std::vector<Var> diffs;
+            diffs.reserve(av.size());
+            for (std::size_t i = 0; i < av.size(); ++i)
+                diffs.push_back(add_xor(solver_, av[i], bv[i]));
+            const Var any = add_or(solver_, diffs);
+            solver_.add_clause(~*guard, Lit(any, false));
+        }
     } else {
         // XOR each pair through the folding/hashing machinery, then demand
         // one true. A constant-true XOR discharges the constraint outright;
@@ -478,10 +574,19 @@ void CircuitEncoder::add_difference(const std::vector<Lit>& a,
             any.push_back(d.as_lit());
         }
         if (!satisfied) {
-            if (any.empty())
-                contradict();
-            else
+            if (any.empty()) {
+                // Provably equal: unguarded, the formula is refuted at the
+                // root; guarded, only the selector is forced off (the DIP
+                // solve under {guard} answers Unsat, extraction under
+                // {~guard} proceeds).
+                if (guard)
+                    solver_.add_clause(~*guard);
+                else
+                    contradict();
+            } else {
+                if (guard) any.push_back(~*guard);
                 solver_.add_clause(std::move(any));
+            }
         }
     }
 

@@ -115,10 +115,42 @@ public:
                        const std::vector<bool>& x,
                        const std::vector<bool>& y);
 
+    /// Adds the agreement for BOTH miter key copies in one call, emitting
+    /// exactly the clause stream of add_agreement(keys1) followed by
+    /// add_agreement(keys2). Compact mode runs the non-cone simulation
+    /// sweep once per DIP instead of once per key copy — a pure wall-clock
+    /// win with an unchanged clause stream.
+    void add_agreement_pair(const netlist::Netlist& nl,
+                            const std::vector<Var>& keys1,
+                            const std::vector<Var>& keys2,
+                            const std::vector<bool>& x,
+                            const std::vector<bool>& y);
+
+    /// Batched form: for each i, adds the agreement (xs[i], ys[i]) for every
+    /// key vector in `keys_list` (pattern-major, matching the sequential
+    /// call order), sharing one packed 64-lane Simulator sweep per chunk of
+    /// 64 patterns instead of one single-lane sweep per pattern x key copy.
+    /// The clause stream is identical to the equivalent sequence of
+    /// add_agreement calls.
+    void add_agreement_batch(const netlist::Netlist& nl,
+                             const std::vector<std::vector<Var>>& keys_list,
+                             const std::vector<std::vector<bool>>& xs,
+                             const std::vector<std::vector<bool>>& ys);
+
     /// Constrains vectors a and b to differ in at least one position.
     void add_difference(const std::vector<Lit>& a, const std::vector<Lit>& b);
     /// Same over raw variables (key vectors).
     void add_difference(const std::vector<Var>& a, const std::vector<Var>& b);
+
+    /// Guarded form: every emitted difference clause is routed through the
+    /// selector literal `guard` (each gets ~guard appended), so the
+    /// constraint is active under assumption {guard} and vacuous under
+    /// {~guard}. This is what lets an attack solve DIP iterations and
+    /// extract keys on the same solver: the miter's difference is engaged
+    /// per solve, never baked in. A provably-equal pair emits the unit
+    /// clause {~guard} instead of falsifying the formula at the root.
+    void add_difference(const std::vector<Lit>& a, const std::vector<Lit>& b,
+                        Lit guard);
 
     /// The shared constant literal of the given polarity. One variable per
     /// encoder serves both polarities (fixed true once, on first use).
@@ -176,7 +208,11 @@ private:
     void add_agreement_compact(const netlist::Netlist& nl,
                                const std::vector<Var>& keys,
                                const std::vector<bool>& x,
-                               const std::vector<bool>& y);
+                               const std::vector<bool>& y,
+                               const std::vector<char>& values);
+    void add_difference_impl(const std::vector<Lit>& a,
+                             const std::vector<Lit>& b,
+                             std::optional<Lit> guard);
 
     SolverBackend& solver_;
     EncoderMode mode_;

@@ -77,6 +77,7 @@ struct Cli {
     std::vector<std::string> attacks = {"sat", "double_dip"};
     std::string solver = "internal";
     std::string encoder = "legacy";
+    std::string extraction = "fresh";
     int portfolio_width = 4;
     bool portfolio_race = false;
     std::vector<std::string> inprocess;  // of: viv, xor, bve
@@ -118,6 +119,12 @@ void usage() {
         "                     structure and cone-reduces DIP agreements —\n"
         "                     deterministic, but a different trajectory than\n"
         "                     legacy, so compare CSVs within one mode)\n"
+        "  --extraction=NAME  key-extraction mode for every attack (default\n"
+        "                     fresh = per-extraction solver + full-history\n"
+        "                     replay; 'inplace' extracts on the live miter\n"
+        "                     solver under an assumption-guarded difference —\n"
+        "                     deterministic, but a different trajectory than\n"
+        "                     fresh, so compare CSVs within one mode)\n"
         "  --portfolio-width=K  portfolio worker count (default 4; width 1\n"
         "                     behaves bit-for-bit like --solver=internal)\n"
         "  --portfolio-race   wall-clock race tier: first decisive worker\n"
@@ -192,6 +199,9 @@ void list_choices() {
     }
     std::printf("encoders:\n");
     for (const auto& name : sat::encoder_mode_names())
+        std::printf("  %s\n", name.c_str());
+    std::printf("extractions:\n");
+    for (const auto& name : attack::extraction_mode_names())
         std::printf("  %s\n", name.c_str());
 }
 
@@ -288,6 +298,7 @@ bool parse(Cli& cli, int argc, char** argv, bool& exit_ok) {
         else if (starts("--attacks=")) cli.attacks = split(val(), ',');
         else if (starts("--solver=")) cli.solver = val();
         else if (starts("--encoder=")) cli.encoder = val();
+        else if (starts("--extraction=")) cli.extraction = val();
         else if (starts("--portfolio-width=")) cli.portfolio_width = int_flag("--portfolio-width", val(), 1, 64);
         else if (starts("--inprocess=")) cli.inprocess = split(val(), ',');
         else if (starts("--inprocess-interval=")) cli.inprocess_interval = u64_flag("--inprocess-interval", val());
@@ -388,6 +399,7 @@ int main(int argc, char** argv) {
     attack_options.max_conflicts = cli.max_conflicts;
     attack_options.solver_backend = cli.solver;
     attack_options.encoder = cli.encoder;
+    attack_options.extraction = cli.extraction;
     attack_options.solver.portfolio_width = cli.portfolio_width;
     attack_options.solver.portfolio_race = cli.portfolio_race;
     attack_options.solver.inprocess_interval = cli.inprocess_interval;
@@ -421,6 +433,14 @@ int main(int argc, char** argv) {
         for (const auto& name : sat::encoder_mode_names()) known += " " + name;
         std::fprintf(stderr, "unknown encoder '%s'; known encoders:%s\n",
                      cli.encoder.c_str(), known.c_str());
+        return 2;
+    }
+    if (!attack::extraction_mode_from_name(cli.extraction)) {
+        std::string known;
+        for (const auto& name : attack::extraction_mode_names())
+            known += " " + name;
+        std::fprintf(stderr, "unknown extraction '%s'; known extractions:%s\n",
+                     cli.extraction.c_str(), known.c_str());
         return 2;
     }
 

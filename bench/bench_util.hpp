@@ -406,6 +406,123 @@ inline void write_extraction_bench_json(
                 fresh.jobs.size());
 }
 
+/// BENCH_sim.json: the levelized bit-sliced simulation engine ablation.
+/// Per-circuit rows pair deterministic plan counters (full vs frontier step
+/// counts, support input counts — the gating metrics) with measured sweep
+/// timings (reference walk vs plan kernel, single- vs multi-word, full vs
+/// cone-restricted per-DIP sweeps — trajectory data, never gated). The
+/// optional dip-support section carries a full-vs-cone campaign on the same
+/// matrix. Wall-clock fields are measured, not byte-reproducible; the
+/// counter fields are.
+struct SimCircuitSummary {
+    std::string name;
+    std::uint64_t gates = 0;
+    std::uint64_t camo_cells = 0;
+    std::uint64_t inputs = 0;
+    std::uint64_t support_inputs = 0;   ///< PIs the cone mode keeps free
+    std::uint64_t full_steps = 0;       ///< full SimPlan steps
+    std::uint64_t frontier_steps = 0;   ///< cone-restricted sub-plan steps
+    double reference_sweep_s = 0.0;     ///< per 64-pattern reference walk
+    double kernel_sweep_s = 0.0;        ///< per 64-pattern plan sweep
+    double single_word_s = 0.0;         ///< 1024 patterns as 16 x run()
+    double multi_word_s = 0.0;          ///< 1024 patterns as one run_words(16)
+    double full_dip_s = 0.0;            ///< per-DIP full run_single_all
+    double frontier_dip_s = 0.0;        ///< per-DIP run_frontier_single
+};
+
+inline void write_sim_bench_json(const std::string& path,
+                                 const std::vector<SimCircuitSummary>& circuits,
+                                 double step_reduction_geomean,
+                                 double kernel_speedup_geomean,
+                                 double multiword_speedup_geomean,
+                                 double cone_speedup_geomean,
+                                 const std::vector<std::string>& labels,
+                                 const engine::CampaignResult& support_full,
+                                 const engine::CampaignResult& support_cone) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("bench");
+    w.value("sim");
+    w.key("circuits");
+    w.begin_array();
+    for (const SimCircuitSummary& c : circuits) {
+        w.begin_object();
+        w.key("name");
+        w.value(c.name);
+        w.key("gates");
+        w.value(c.gates);
+        w.key("camo_cells");
+        w.value(c.camo_cells);
+        w.key("inputs");
+        w.value(c.inputs);
+        w.key("support_inputs");
+        w.value(c.support_inputs);
+        w.key("full_steps");
+        w.value(c.full_steps);
+        w.key("frontier_steps");
+        w.value(c.frontier_steps);
+        w.key("reference_sweep_s");
+        w.value(c.reference_sweep_s);
+        w.key("kernel_sweep_s");
+        w.value(c.kernel_sweep_s);
+        w.key("single_word_s");
+        w.value(c.single_word_s);
+        w.key("multi_word_s");
+        w.value(c.multi_word_s);
+        w.key("full_dip_s");
+        w.value(c.full_dip_s);
+        w.key("frontier_dip_s");
+        w.value(c.frontier_dip_s);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("per_dip_step_reduction_geomean");
+    w.value(step_reduction_geomean);
+    w.key("kernel_speedup_geomean");
+    w.value(kernel_speedup_geomean);
+    w.key("multiword_speedup_geomean");
+    w.value(multiword_speedup_geomean);
+    w.key("cone_speedup_geomean");
+    w.value(cone_speedup_geomean);
+    w.key("dip_support_modes");
+    w.begin_array();
+    const engine::CampaignResult* campaigns[2] = {&support_full, &support_cone};
+    const char* names[2] = {"full", "cone"};
+    for (int m = 0; m < 2; ++m) {
+        const engine::CampaignResult& campaign = *campaigns[m];
+        w.begin_object();
+        w.key("mode");
+        w.value(names[m]);
+        w.key("wall_seconds");
+        w.value(campaign.wall_seconds);
+        w.key("jobs");
+        w.begin_array();
+        for (std::size_t i = 0; i < campaign.jobs.size(); ++i) {
+            const engine::JobResult& j = campaign.jobs[i];
+            w.begin_object();
+            if (i < labels.size()) {
+                w.key("label");
+                w.value(labels[i]);
+            }
+            w.key("status");
+            w.value(status_cell(j));
+            w.key("iterations");
+            w.value(static_cast<std::uint64_t>(j.result.iterations));
+            w.key("oracle_patterns");
+            w.value(j.result.oracle_patterns);
+            w.key("attack_seconds");
+            w.value(j.result.seconds);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    write_text_file(path, w.str() + "\n");
+    std::printf("wrote %s (%zu circuits)\n", path.c_str(), circuits.size());
+}
+
 inline void banner(const char* id, const char* title) {
     std::printf("\n================================================================\n");
     std::printf("%s — %s\n", id, title);

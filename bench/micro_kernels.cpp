@@ -68,6 +68,66 @@ void BM_PackedSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_PackedSimulation);
 
+void BM_ReferenceWalkSimulation(benchmark::State& state) {
+    // The pre-SimPlan per-gate topological walk, kept as the executable
+    // spec — the baseline the compiled kernel above is measured against.
+    const auto nl = netlist::build_benchmark("c7552");
+    const netlist::Simulator sim(nl);
+    Rng rng(3);
+    std::vector<std::uint64_t> pi(nl.inputs().size());
+    for (auto& w : pi) w = rng();
+    for (auto _ : state) benchmark::DoNotOptimize(sim.run_reference(pi));
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ReferenceWalkSimulation);
+
+void BM_MultiWordSimulation(benchmark::State& state) {
+    // One run_words(16) pass = 1024 patterns, the OracleService batch /
+    // AppSAT error-estimation sweep shape.
+    const auto nl = netlist::build_benchmark("c7552");
+    const netlist::Simulator sim(nl);
+    constexpr std::size_t kWords = 16;
+    Rng rng(5);
+    std::vector<std::uint64_t> pi(nl.inputs().size() * kWords);
+    for (auto& w : pi) w = rng();
+    for (auto _ : state) benchmark::DoNotOptimize(sim.run_words(pi, kWords));
+    state.SetItemsProcessed(state.iterations() * 64 * kWords);
+}
+BENCHMARK(BM_MultiWordSimulation);
+
+void BM_FrontierSweepSingle(benchmark::State& state) {
+    // The compact encoder's per-DIP sweep: the cone-restricted sub-plan on
+    // a 10%-camouflaged c7552 stand-in, one pattern per call.
+    const auto nl = netlist::build_benchmark("c7552");
+    const auto sel = camo::select_gates(nl, 0.10, 1);
+    const auto prot = camo::apply_camouflage(nl, sel, camo::gshe16(), 1);
+    const netlist::Simulator sim(prot.netlist);
+    Rng rng(6);
+    std::vector<bool> pattern(prot.netlist.inputs().size());
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = (rng() & 1) != 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.run_frontier_single(pattern));
+}
+BENCHMARK(BM_FrontierSweepSingle);
+
+void BM_FrontierSweepWords(benchmark::State& state) {
+    // The batched agreement path: one cone-restricted run_frontier_words(16)
+    // serving up to 1024 queued DIP lanes.
+    const auto nl = netlist::build_benchmark("c7552");
+    const auto sel = camo::select_gates(nl, 0.10, 1);
+    const auto prot = camo::apply_camouflage(nl, sel, camo::gshe16(), 1);
+    const netlist::Simulator sim(prot.netlist);
+    constexpr std::size_t kWords = 16;
+    Rng rng(7);
+    std::vector<std::uint64_t> pi(prot.netlist.inputs().size() * kWords);
+    for (auto& w : pi) w = rng();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.run_frontier_words(pi, kWords));
+    state.SetItemsProcessed(state.iterations() * 64 * kWords);
+}
+BENCHMARK(BM_FrontierSweepWords);
+
 void BM_TseitinEncode(benchmark::State& state) {
     const auto nl = netlist::build_benchmark("c7552");
     for (auto _ : state) {

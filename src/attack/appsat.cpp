@@ -1,5 +1,7 @@
 #include "attack/appsat.hpp"
 
+#include <algorithm>
+
 #include "attack/miter_detail.hpp"
 #include "attack/sat_attack.hpp"
 #include "common/timer.hpp"
@@ -39,6 +41,7 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
     } else {
         encoder.add_difference(enc1.outs, enc2.outs);
     }
+    detail::apply_dip_support(solver, camo_nl, enc1.pis, base);
     const std::vector<sat::Lit> assumptions =
         guard ? std::vector<sat::Lit>{*guard} : std::vector<sat::Lit>{};
 
@@ -99,26 +102,49 @@ AttackResult appsat_attack(const netlist::Netlist& camo_nl, Oracle& oracle,
         std::uint64_t mismatched = 0, total = 0;
         std::vector<std::vector<bool>> wrong_inputs;
         std::vector<std::vector<bool>> wrong_outputs;
-        for (std::size_t w = 0; w < options.sample_words; ++w) {
-            std::vector<std::uint64_t> pi(camo_nl.inputs().size());
-            for (auto& word : pi) word = sample_rng();
-            const auto truth = oracle.query(pi);
-            const auto guess = sim.run_with_functions(pi, *fns);
-            std::uint64_t diff = 0;
-            for (std::size_t o = 0; o < truth.size(); ++o)
-                diff |= truth[o] ^ guess[o];
-            total += 64;
-            if (diff == 0) continue;
-            mismatched += static_cast<std::uint64_t>(__builtin_popcountll(diff));
-            // Reinforce with the first mismatching pattern of this word.
-            const int bit = __builtin_ctzll(diff);
-            std::vector<bool> x(pi.size()), y(truth.size());
-            for (std::size_t i = 0; i < pi.size(); ++i)
-                x[i] = ((pi[i] >> bit) & 1) != 0;
-            for (std::size_t o = 0; o < truth.size(); ++o)
-                y[o] = ((truth[o] >> bit) & 1) != 0;
-            wrong_inputs.push_back(std::move(x));
-            wrong_outputs.push_back(std::move(y));
+        const std::size_t n_pis = camo_nl.inputs().size();
+        const std::size_t n_outs = camo_nl.outputs().size();
+        // Sampling runs in multi-word chunks: patterns are drawn and the
+        // oracle is queried in the historical per-word order (so rng and
+        // oracle metering/epoch state are untouched), then one packed sweep
+        // evaluates the candidate on the whole chunk.
+        constexpr std::size_t kSweepWords = 16;
+        std::vector<std::uint64_t> pis;
+        std::vector<std::vector<std::uint64_t>> truths;
+        std::vector<std::uint64_t> pi(n_pis);
+        for (std::size_t base_w = 0; base_w < options.sample_words;
+             base_w += kSweepWords) {
+            const std::size_t chunk =
+                std::min(kSweepWords, options.sample_words - base_w);
+            pis.assign(n_pis * chunk, 0);
+            truths.clear();
+            for (std::size_t w = 0; w < chunk; ++w) {
+                for (std::size_t i = 0; i < n_pis; ++i) {
+                    pi[i] = sample_rng();
+                    pis[i * chunk + w] = pi[i];
+                }
+                truths.push_back(oracle.query(pi));
+            }
+            const auto guesses = sim.run_words_with_functions(pis, chunk, *fns);
+            for (std::size_t w = 0; w < chunk; ++w) {
+                const auto& truth = truths[w];
+                std::uint64_t diff = 0;
+                for (std::size_t o = 0; o < n_outs; ++o)
+                    diff |= truth[o] ^ guesses[o * chunk + w];
+                total += 64;
+                if (diff == 0) continue;
+                mismatched +=
+                    static_cast<std::uint64_t>(__builtin_popcountll(diff));
+                // Reinforce with the first mismatching pattern of this word.
+                const int bit = __builtin_ctzll(diff);
+                std::vector<bool> x(n_pis), y(n_outs);
+                for (std::size_t i = 0; i < n_pis; ++i)
+                    x[i] = ((pis[i * chunk + w] >> bit) & 1) != 0;
+                for (std::size_t o = 0; o < n_outs; ++o)
+                    y[o] = ((truth[o] >> bit) & 1) != 0;
+                wrong_inputs.push_back(std::move(x));
+                wrong_outputs.push_back(std::move(y));
+            }
         }
         const double err =
             total == 0 ? 0.0 : static_cast<double>(mismatched) / static_cast<double>(total);

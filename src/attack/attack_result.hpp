@@ -39,6 +39,31 @@ std::optional<ExtractionMode> extraction_mode_from_name(const std::string& name)
 /// All mode spellings, for CLI/usage errors.
 std::vector<std::string> extraction_mode_names();
 
+/// Which primary inputs the DIP solver is allowed to assign:
+///
+///   Full  the historical miter — every primary input is a free variable.
+///         The default: recorded golden trajectories were produced over the
+///         full input space and must keep reproducing bit for bit.
+///   Cone  primary inputs outside the key cone's transitive fanin
+///         (Netlist::key_support()) are pinned to constant 0 in the miter.
+///         Such an input can never influence a key-dependent output, so the
+///         restricted miter distinguishes exactly the same key classes —
+///         but the CNF shrinks and DIPs collapse onto the support
+///         projection, deduping oracle queries.
+///
+/// Both modes are deterministic; cone changes DIP trajectories (the solver
+/// picks different models), so it is campaign data exactly like the encoder
+/// and extraction modes.
+enum class DipSupportMode { Full, Cone };
+
+/// Registry-style spelling ("full" / "cone").
+const std::string& dip_support_mode_name(DipSupportMode mode);
+/// Inverse; std::nullopt for unrecognized spellings.
+std::optional<DipSupportMode> dip_support_mode_from_name(
+    const std::string& name);
+/// All mode spellings, for CLI/usage errors.
+std::vector<std::string> dip_support_mode_names();
+
 struct AttackOptions {
     /// Wall-clock budget for the whole attack; exceeded => Status::TimedOut
     /// (the "t-o" cells of Table IV, scaled from the paper's 48 h).
@@ -83,6 +108,12 @@ struct AttackOptions {
     /// (assumption-guarded extraction on the live miter solver). Unknown
     /// names make the attack throw with the list of modes.
     std::string extraction = "fresh";
+    /// DIP support mode (DipSupportMode above): "full" (historical miter
+    /// over every primary input — the default, pinned so recorded golden
+    /// trajectories keep reproducing bit-for-bit) or "cone" (primary inputs
+    /// outside the key support pinned to constants). Unknown names make the
+    /// attack throw with the list of modes.
+    std::string dip_support = "full";
 };
 
 struct AttackResult {

@@ -39,6 +39,29 @@ ExtractionMode resolve_extraction_mode(const AttackOptions& options) {
     return resolve_extraction_mode(options.extraction);
 }
 
+DipSupportMode resolve_dip_support_mode(const std::string& name) {
+    if (const auto mode = dip_support_mode_from_name(name)) return *mode;
+    std::string msg = "unknown dip-support '" + name + "'; known dip-supports:";
+    for (const std::string& n : dip_support_mode_names()) msg += " " + n;
+    throw std::invalid_argument(msg);
+}
+
+DipSupportMode resolve_dip_support_mode(const AttackOptions& options) {
+    return resolve_dip_support_mode(options.dip_support);
+}
+
+void apply_dip_support(sat::SolverBackend& solver,
+                       const netlist::Netlist& camo_nl,
+                       const std::vector<sat::Var>& pis,
+                       const AttackOptions& options) {
+    if (resolve_dip_support_mode(options) != DipSupportMode::Cone) return;
+    const std::vector<char>& support = camo_nl.key_support();
+    const std::vector<netlist::GateId>& inputs = camo_nl.inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        if (support[inputs[i]] == 0)
+            solver.add_clause(sat::Lit(pis[i], true));  // pin to 0
+}
+
 void capture_solver_identity(AttackResult& res,
                              const sat::SolverBackend& solver) {
     res.portfolio_width = solver.portfolio_width();
@@ -167,6 +190,7 @@ AttackResult run_single_dip_loop(const netlist::Netlist& camo_nl,
     } else {
         encoder.add_difference(enc1.outs, enc2.outs);
     }
+    apply_dip_support(solver, camo_nl, enc1.pis, options);
     encoder.add_agreement_batch(camo_nl, {enc1.keys, enc2.keys},
                                 history.inputs, history.outputs);
     const std::vector<sat::Lit> assumptions =

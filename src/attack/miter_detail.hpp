@@ -71,6 +71,23 @@ ExtractionMode resolve_extraction_mode(const std::string& name);
 /// Same, reading AttackOptions::extraction.
 ExtractionMode resolve_extraction_mode(const AttackOptions& options);
 
+/// Resolves a DIP-support-mode name ("full"/"cone") to the enum, with the
+/// same throwing contract.
+DipSupportMode resolve_dip_support_mode(const std::string& name);
+/// Same, reading AttackOptions::dip_support.
+DipSupportMode resolve_dip_support_mode(const AttackOptions& options);
+
+/// Applies AttackOptions::dip_support to a freshly built miter: under
+/// "cone", pins every shared primary-input variable whose gate is outside
+/// Netlist::key_support() to constant 0 (unit clauses). Inputs outside the
+/// support cannot influence any key-dependent output, so the restricted
+/// miter distinguishes exactly the same key classes while the solver stops
+/// enumerating DIPs that differ only off-support. No-op under "full".
+void apply_dip_support(sat::SolverBackend& solver,
+                       const netlist::Netlist& camo_nl,
+                       const std::vector<sat::Var>& pis,
+                       const AttackOptions& options);
+
 /// Copies the backend's portfolio telemetry (width, last decisive winner)
 /// into the result — applied wherever solver_stats is captured, so the
 /// engine's portfolio_winner/portfolio_width columns ride every attack.

@@ -1,5 +1,7 @@
 #include "attack/sat_attack.hpp"
 
+#include <algorithm>
+
 #include "attack/miter_detail.hpp"
 #include "common/timer.hpp"
 #include "netlist/simulator.hpp"
@@ -11,6 +13,8 @@ using detail::History;
 namespace {
 const std::string kFreshName = "fresh";
 const std::string kInplaceName = "inplace";
+const std::string kFullName = "full";
+const std::string kConeName = "cone";
 }  // namespace
 
 const std::string& extraction_mode_name(ExtractionMode mode) {
@@ -26,6 +30,21 @@ std::optional<ExtractionMode> extraction_mode_from_name(
 
 std::vector<std::string> extraction_mode_names() {
     return {kFreshName, kInplaceName};
+}
+
+const std::string& dip_support_mode_name(DipSupportMode mode) {
+    return mode == DipSupportMode::Cone ? kConeName : kFullName;
+}
+
+std::optional<DipSupportMode> dip_support_mode_from_name(
+    const std::string& name) {
+    if (name == kFullName) return DipSupportMode::Full;
+    if (name == kConeName) return DipSupportMode::Cone;
+    return std::nullopt;
+}
+
+std::vector<std::string> dip_support_mode_names() {
+    return {kFullName, kConeName};
 }
 
 std::string AttackResult::status_name(AttackResult::Status s) {
@@ -53,22 +72,36 @@ double key_error_rate(const netlist::Netlist& camo_nl, const camo::Key& key,
     netlist::Simulator sim(camo_nl);
     Rng rng(seed ^ 0x7e57ULL);
 
+    const std::size_t n_pis = camo_nl.inputs().size();
+    const std::size_t n_outs = camo_nl.outputs().size();
     const std::size_t words = (patterns + 63) / 64;
+    // Multi-word sweeps amortize sweep setup; patterns are drawn in the
+    // historical order (word-major, then input order), so the sampled
+    // error rate is bit-identical to the per-word loop.
+    constexpr std::size_t kSweepWords = 16;
     std::uint64_t mismatched = 0, total = 0;
-    std::vector<std::uint64_t> pi(camo_nl.inputs().size());
-    for (std::size_t w = 0; w < words; ++w) {
-        for (auto& word : pi) word = rng();
-        const auto truth = sim.run(pi);
-        const auto guess = sim.run_with_functions(pi, *fns);
-        std::uint64_t diff = 0;
-        for (std::size_t o = 0; o < truth.size(); ++o) diff |= truth[o] ^ guess[o];
-        // The last word may carry fewer than 64 requested patterns; mask the
-        // excess lanes so they count in neither numerator nor denominator.
-        const std::size_t lanes =
-            (w + 1 == words && patterns % 64 != 0) ? patterns % 64 : 64;
-        if (lanes < 64) diff &= (std::uint64_t{1} << lanes) - 1;
-        mismatched += static_cast<std::uint64_t>(__builtin_popcountll(diff));
-        total += lanes;
+    std::vector<std::uint64_t> pi;
+    for (std::size_t base = 0; base < words; base += kSweepWords) {
+        const std::size_t chunk = std::min(kSweepWords, words - base);
+        pi.assign(n_pis * chunk, 0);
+        for (std::size_t w = 0; w < chunk; ++w)
+            for (std::size_t i = 0; i < n_pis; ++i) pi[i * chunk + w] = rng();
+        const auto truth = sim.run_words(pi, chunk);
+        const auto guess = sim.run_words_with_functions(pi, chunk, *fns);
+        for (std::size_t w = 0; w < chunk; ++w) {
+            std::uint64_t diff = 0;
+            for (std::size_t o = 0; o < n_outs; ++o)
+                diff |= truth[o * chunk + w] ^ guess[o * chunk + w];
+            // The last word may carry fewer than 64 requested patterns; mask
+            // the excess lanes so they count in neither numerator nor
+            // denominator.
+            const std::size_t lanes =
+                (base + w + 1 == words && patterns % 64 != 0) ? patterns % 64
+                                                              : 64;
+            if (lanes < 64) diff &= (std::uint64_t{1} << lanes) - 1;
+            mismatched += static_cast<std::uint64_t>(__builtin_popcountll(diff));
+            total += lanes;
+        }
     }
     return total == 0 ? 0.0 : static_cast<double>(mismatched) / static_cast<double>(total);
 }

@@ -195,6 +195,7 @@ JobResult CampaignRunner::run_job(const PlannedJob& job,
     r.solver_backend = spec.attack_options.solver_backend;
     r.encoder = spec.attack_options.encoder;
     r.extraction = spec.attack_options.extraction;
+    r.dip_support = spec.attack_options.dip_support;
     r.spec_seed = spec.seed;
     r.derived_seed = job.derived_seed;
     r.oracle_group = static_cast<std::uint64_t>(job.group);
@@ -218,6 +219,9 @@ JobResult CampaignRunner::run_job(const PlannedJob& job,
                 // the lazy fill is mutable-under-const with no lock.
                 (void)group.instance->netlist->topological_order();
                 (void)group.instance->netlist->key_cone();
+                (void)group.instance->netlist->sim_plan();
+                (void)group.instance->netlist->frontier_plan();
+                (void)group.instance->netlist->key_support();
                 attack::OracleService::Options sopts;
                 sopts.enable_cache = group.cache_enabled;
                 sopts.max_bytes = options_.oracle_cache_bytes;

@@ -75,6 +75,9 @@ struct JobResult {
     /// Key-extraction mode the attack used (AttackOptions::extraction).
     /// JSON/journal only, like the encoder mode.
     std::string extraction = "fresh";
+    /// DIP support mode the attack used (AttackOptions::dip_support).
+    /// JSON/journal only, like the encoder mode.
+    std::string dip_support = "full";
     std::uint64_t spec_seed = 0;
     std::uint64_t derived_seed = 0;
     std::size_t protected_cells = 0;

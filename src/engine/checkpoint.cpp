@@ -123,6 +123,10 @@ void write_spec(JsonWriter& w, const JobSpec& spec) {
         w.key("extraction");
         w.value(spec.attack_options.extraction);
     }
+    if (spec.attack_options.dip_support != "full") {
+        w.key("dip_support");
+        w.value(spec.attack_options.dip_support);
+    }
     w.key("solver");
     write_solver_options(w, spec.attack_options.solver);
     w.end_object();
@@ -152,6 +156,8 @@ void write_result(JsonWriter& w, const JobResult& r) {
     w.value(r.encoder);
     w.key("extraction");
     w.value(r.extraction);
+    w.key("dip_support");
+    w.value(r.dip_support);
     w.key("spec_seed");
     w.value(r.spec_seed);
     w.key("derived_seed");
@@ -289,6 +295,8 @@ void write_result(JsonWriter& w, const JobResult& r) {
     w.value(r.oracle_cache.unique_patterns);
     w.key("inserted_bytes");
     w.value(r.oracle_cache.inserted_bytes);
+    w.key("lanes_deduped");
+    w.value(r.oracle_cache.lanes_deduped);
     w.end_object();
     w.end_object();
 }
@@ -366,6 +374,7 @@ std::optional<JobSpec> spec_from_value(const json::Value& v) {
             string_field(*o, "solver_backend", opt.solver_backend);
         opt.encoder = string_field(*o, "encoder", opt.encoder);
         opt.extraction = string_field(*o, "extraction", opt.extraction);
+        opt.dip_support = string_field(*o, "dip_support", opt.dip_support);
         if (const json::Value* s = o->find("solver"); s && s->is_object()) {
             opt.solver.use_vsids =
                 bool_field(*s, "use_vsids", opt.solver.use_vsids);
@@ -423,6 +432,7 @@ std::optional<JobResult> result_from_value(const json::Value& v) {
     r.solver_backend = string_field(v, "solver_backend", r.solver_backend);
     r.encoder = string_field(v, "encoder", r.encoder);
     r.extraction = string_field(v, "extraction", r.extraction);
+    r.dip_support = string_field(v, "dip_support", r.dip_support);
     r.spec_seed = u64_field(v, "spec_seed");
     r.derived_seed = u64_field(v, "derived_seed");
     r.protected_cells = static_cast<std::size_t>(
@@ -513,6 +523,7 @@ std::optional<JobResult> result_from_value(const json::Value& v) {
         r.oracle_cache.bypassed = u64_field(*c, "bypassed");
         r.oracle_cache.unique_patterns = u64_field(*c, "unique_patterns");
         r.oracle_cache.inserted_bytes = u64_field(*c, "inserted_bytes");
+        r.oracle_cache.lanes_deduped = u64_field(*c, "lanes_deduped");
     }
     return r;
 }

@@ -97,6 +97,8 @@ std::string campaign_json(const CampaignResult& result) {
         w.value(j.encoder);
         w.key("extraction");
         w.value(j.extraction);
+        w.key("dip_support");
+        w.value(j.dip_support);
         w.key("seed");
         w.value(j.spec_seed);
         w.key("derived_seed");
@@ -201,6 +203,8 @@ std::string campaign_json(const CampaignResult& result) {
             w.value(j.oracle_cache.bypassed);
             w.key("inserted_bytes");
             w.value(j.oracle_cache.inserted_bytes);
+            w.key("lanes_deduped");
+            w.value(j.oracle_cache.lanes_deduped);
             w.end_object();
             w.end_object();
         }

@@ -3,7 +3,40 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "netlist/sim_plan.hpp"
+
 namespace gshe::netlist {
+
+Netlist::Netlist() = default;
+
+Netlist::Netlist(std::string name) : name_(std::move(name)) {}
+
+Netlist::Netlist(const Netlist& other)
+    : name_(other.name_),
+      gates_(other.gates_),
+      inputs_(other.inputs_),
+      outputs_(other.outputs_),
+      dffs_(other.dffs_),
+      camo_cells_(other.camo_cells_),
+      topo_cache_(other.topo_cache_),
+      fanout_cache_(other.fanout_cache_),
+      caches_valid_(other.caches_valid_),
+      cone_cache_(other.cone_cache_),
+      cone_size_(other.cone_size_),
+      cone_valid_(other.cone_valid_) {}
+      // Simulation-plan caches stay cold in the copy.
+
+Netlist& Netlist::operator=(const Netlist& other) {
+    if (this != &other) {
+        Netlist tmp(other);
+        *this = std::move(tmp);
+    }
+    return *this;
+}
+
+Netlist::Netlist(Netlist&& other) noexcept = default;
+Netlist& Netlist::operator=(Netlist&& other) noexcept = default;
+Netlist::~Netlist() = default;
 
 int CamoCell::key_bits() const {
     int bits = 0;
@@ -114,6 +147,7 @@ int Netlist::camouflage(GateId g, std::vector<core::Bool2> candidates,
     camo_cells_.push_back(std::move(cell));
     gate_ref.camo_index = static_cast<std::int32_t>(camo_cells_.size() - 1);
     cone_valid_ = false;
+    invalidate_sim_plans();
     return gate_ref.camo_index;
 }
 
@@ -121,6 +155,7 @@ void Netlist::clear_camouflage() {
     for (const CamoCell& c : camo_cells_) gates_[c.gate].camo_index = -1;
     camo_cells_.clear();
     cone_valid_ = false;
+    invalidate_sim_plans();
 }
 
 std::size_t Netlist::logic_gate_count() const {
@@ -139,6 +174,44 @@ int Netlist::key_bit_count() const {
 void Netlist::invalidate_caches() const {
     caches_valid_ = false;
     cone_valid_ = false;
+    invalidate_sim_plans();
+}
+
+void Netlist::invalidate_sim_plans() const {
+    sim_plan_valid_ = false;
+    frontier_valid_ = false;
+    support_valid_ = false;
+}
+
+const SimPlan& Netlist::sim_plan() const {
+    if (!sim_plan_valid_) {
+        sim_plan_cache_ = std::make_unique<SimPlan>(build_sim_plan(*this));
+        sim_plan_valid_ = true;
+    }
+    return *sim_plan_cache_;
+}
+
+const SimPlan& Netlist::frontier_plan() const {
+    if (!frontier_valid_) {
+        frontier_reads_ = netlist::frontier_read_set(*this);
+        frontier_cache_ =
+            std::make_unique<SimPlan>(build_restricted_plan(*this, frontier_reads_));
+        frontier_valid_ = true;
+    }
+    return *frontier_cache_;
+}
+
+const std::vector<GateId>& Netlist::frontier_read_set() const {
+    frontier_plan();
+    return frontier_reads_;
+}
+
+const std::vector<char>& Netlist::key_support() const {
+    if (!support_valid_) {
+        support_cache_ = build_key_support(*this);
+        support_valid_ = true;
+    }
+    return support_cache_;
 }
 
 const std::vector<GateId>& Netlist::topological_order() const {

@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -23,6 +24,8 @@
 #include "core/boolean_function.hpp"
 
 namespace gshe::netlist {
+
+struct SimPlan;  // netlist/sim_plan.hpp
 
 using GateId = std::uint32_t;
 inline constexpr GateId kNoGate = std::numeric_limits<GateId>::max();
@@ -73,8 +76,16 @@ struct PortRef {
 
 class Netlist {
 public:
-    Netlist() = default;
-    explicit Netlist(std::string name) : name_(std::move(name)) {}
+    // All special members are out-of-line: the simulation-plan caches are
+    // unique_ptrs to the incomplete SimPlan. Copies carry the graph and the
+    // cheap caches but start with cold plan caches (rebuilt on first use).
+    Netlist();
+    explicit Netlist(std::string name);
+    Netlist(const Netlist& other);
+    Netlist& operator=(const Netlist& other);
+    Netlist(Netlist&& other) noexcept;
+    Netlist& operator=(Netlist&& other) noexcept;
+    ~Netlist();
 
     const std::string& name() const { return name_; }
     void set_name(std::string n) { name_ = std::move(n); }
@@ -137,6 +148,26 @@ public:
     /// Number of gates inside the key cone.
     std::size_t key_cone_size() const;
 
+    /// Levelized struct-of-arrays simulation plan over the whole netlist
+    /// (netlist/sim_plan.hpp) — the Simulator's compiled kernel input.
+    /// Cached like the topo order (prewarm before sharing across threads);
+    /// invalidated by structural mutation AND by camouflage() /
+    /// clear_camouflage(), which rebind camo steps without changing the
+    /// graph.
+    const SimPlan& sim_plan() const;
+    /// Cone-restricted sub-plan covering exactly frontier_read_set(): the
+    /// compact encoder's per-DIP sweeps run these steps instead of the whole
+    /// circuit. Same caching/invalidation as sim_plan().
+    const SimPlan& frontier_plan() const;
+    /// The gates frontier_plan() serves (non-cone fanins of cone gates plus
+    /// non-cone output drivers), ascending. Cached with frontier_plan().
+    const std::vector<GateId>& frontier_read_set() const;
+    /// Key support: flag[id] != 0 iff gate id is inside the key cone or its
+    /// transitive fanin. A primary input outside the support can never
+    /// influence a key-dependent output (--dip-support=cone pins it). Same
+    /// caching/invalidation as sim_plan().
+    const std::vector<char>& key_support() const;
+
     /// Longest path length in gates from any source (levelization).
     std::vector<int> levels() const;
     int depth() const;
@@ -147,6 +178,7 @@ public:
 private:
     GateId push(Gate g);
     void invalidate_caches() const;
+    void invalidate_sim_plans() const;
 
     std::string name_;
     std::vector<Gate> gates_;
@@ -163,6 +195,16 @@ private:
     mutable std::vector<char> cone_cache_;
     mutable std::size_t cone_size_ = 0;
     mutable bool cone_valid_ = false;
+    // Simulation-plan caches. Like the cone, they depend on camouflage state
+    // (camo step bindings, frontier, support), so camouflage() /
+    // clear_camouflage() invalidate them alongside structural mutation.
+    mutable std::unique_ptr<SimPlan> sim_plan_cache_;
+    mutable bool sim_plan_valid_ = false;
+    mutable std::unique_ptr<SimPlan> frontier_cache_;
+    mutable std::vector<GateId> frontier_reads_;
+    mutable bool frontier_valid_ = false;
+    mutable std::vector<char> support_cache_;
+    mutable bool support_valid_ = false;
 };
 
 }  // namespace gshe::netlist

@@ -1,13 +1,141 @@
 #include "netlist/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "netlist/sim_plan.hpp"
+
 namespace gshe::netlist {
+
+void Simulator::sweep(const SimPlan& plan, std::size_t n_words,
+                      std::span<const std::uint64_t> pi_words,
+                      std::span<const core::Bool2> overrides,
+                      std::span<const std::uint64_t> dff_words,
+                      std::span<const std::uint64_t> flip_masks) const {
+    const Netlist& nl = *nl_;
+    if (n_words == 0)
+        throw std::invalid_argument("Simulator: n_words must be positive");
+    if (pi_words.size() != nl.inputs().size() * n_words)
+        throw std::invalid_argument("Simulator: wrong primary-input count");
+    if (!dff_words.empty() && dff_words.size() != nl.dffs().size() * n_words)
+        throw std::invalid_argument("Simulator: wrong DFF state count");
+
+    values_.assign(plan.value_slots * n_words, 0);
+    std::uint64_t* v = values_.data();
+    const std::vector<GateId>& inputs = nl.inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        std::copy_n(pi_words.data() + i * n_words, n_words,
+                    v + std::size_t{inputs[i]} * n_words);
+    if (!dff_words.empty()) {
+        const std::vector<GateId>& dffs = nl.dffs();
+        for (std::size_t i = 0; i < dffs.size(); ++i)
+            std::copy_n(dff_words.data() + i * n_words, n_words,
+                        v + std::size_t{dffs[i]} * n_words);
+    }
+    for (const GateId id : plan.const_ones)
+        std::fill_n(v + std::size_t{id} * n_words, n_words, ~std::uint64_t{0});
+
+    const std::uint8_t* tt = plan.tt.data();
+    if (!overrides.empty()) {
+        tt_scratch_.assign(plan.tt.begin(), plan.tt.end());
+        for (std::size_t k = 0; k < overrides.size(); ++k) {
+            const std::uint32_t s = plan.camo_step[k];
+            if (s != SimPlan::kNoStep) tt_scratch_[s] = overrides[k].truth_table();
+        }
+        tt = tt_scratch_.data();
+    }
+
+    const std::size_t steps = plan.steps();
+    const GateId* out = plan.out.data();
+    const std::uint32_t* fa = plan.a.data();
+    const std::uint32_t* fb = plan.b.data();
+
+    if (n_words == 1) {
+        if (flip_masks.empty()) {
+            for (std::size_t s = 0; s < steps; ++s) {
+                const std::uint8_t t = tt[s];
+                const std::uint64_t t0 = -static_cast<std::uint64_t>(t & 1u);
+                const std::uint64_t t1 = -static_cast<std::uint64_t>((t >> 1) & 1u);
+                const std::uint64_t t2 = -static_cast<std::uint64_t>((t >> 2) & 1u);
+                const std::uint64_t t3 = -static_cast<std::uint64_t>((t >> 3) & 1u);
+                const std::uint64_t a = v[fa[s]];
+                const std::uint64_t b = v[fb[s]];
+                v[out[s]] = (t0 & ~a & ~b) | (t1 & ~a & b) | (t2 & a & ~b) |
+                            (t3 & a & b);
+            }
+        } else {
+            // Flips must land at the producing step so downstream consumers
+            // see the corrupted word: walk a sorted (step, mask) list.
+            flip_steps_.clear();
+            for (std::size_t k = 0; k < flip_masks.size(); ++k) {
+                const std::uint32_t s = plan.camo_step[k];
+                if (s != SimPlan::kNoStep && flip_masks[k] != 0)
+                    flip_steps_.emplace_back(s, flip_masks[k]);
+            }
+            std::sort(flip_steps_.begin(), flip_steps_.end());
+            std::size_t cursor = 0;
+            for (std::size_t s = 0; s < steps; ++s) {
+                const std::uint8_t t = tt[s];
+                const std::uint64_t t0 = -static_cast<std::uint64_t>(t & 1u);
+                const std::uint64_t t1 = -static_cast<std::uint64_t>((t >> 1) & 1u);
+                const std::uint64_t t2 = -static_cast<std::uint64_t>((t >> 2) & 1u);
+                const std::uint64_t t3 = -static_cast<std::uint64_t>((t >> 3) & 1u);
+                const std::uint64_t a = v[fa[s]];
+                const std::uint64_t b = v[fb[s]];
+                std::uint64_t r = (t0 & ~a & ~b) | (t1 & ~a & b) |
+                                  (t2 & a & ~b) | (t3 & a & b);
+                if (cursor < flip_steps_.size() && flip_steps_[cursor].first == s) {
+                    r ^= flip_steps_[cursor].second;
+                    ++cursor;
+                }
+                v[out[s]] = r;
+            }
+        }
+    } else {
+        if (!flip_masks.empty())
+            throw std::invalid_argument(
+                "Simulator: flip masks require single-word sweeps");
+        for (std::size_t s = 0; s < steps; ++s) {
+            const std::uint8_t t = tt[s];
+            const std::uint64_t t0 = -static_cast<std::uint64_t>(t & 1u);
+            const std::uint64_t t1 = -static_cast<std::uint64_t>((t >> 1) & 1u);
+            const std::uint64_t t2 = -static_cast<std::uint64_t>((t >> 2) & 1u);
+            const std::uint64_t t3 = -static_cast<std::uint64_t>((t >> 3) & 1u);
+            const std::uint64_t* pa = v + std::size_t{fa[s]} * n_words;
+            const std::uint64_t* pb = v + std::size_t{fb[s]} * n_words;
+            std::uint64_t* po = v + std::size_t{out[s]} * n_words;
+            for (std::size_t w = 0; w < n_words; ++w) {
+                const std::uint64_t a = pa[w];
+                const std::uint64_t b = pb[w];
+                po[w] = (t0 & ~a & ~b) | (t1 & ~a & b) | (t2 & a & ~b) |
+                        (t3 & a & b);
+            }
+        }
+    }
+}
+
+std::vector<std::uint64_t> Simulator::gather_outputs(std::size_t n_words) const {
+    const Netlist& nl = *nl_;
+    std::vector<std::uint64_t> out(nl.outputs().size() * n_words);
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o)
+        std::copy_n(values_.data() + std::size_t{nl.outputs()[o].gate} * n_words,
+                    n_words, out.data() + o * n_words);
+    return out;
+}
+
+std::span<const std::uint64_t> Simulator::pack_single(
+    const std::vector<bool>& pi) const {
+    word_scratch_.resize(pi.size());
+    for (std::size_t i = 0; i < pi.size(); ++i)
+        word_scratch_[i] = pi[i] ? ~std::uint64_t{0} : 0;
+    return word_scratch_;
+}
 
 std::vector<std::uint64_t> Simulator::run(
     std::span<const std::uint64_t> pi_words,
     std::span<const std::uint64_t> dff_words) const {
-    return run_impl(pi_words, {}, dff_words);
+    sweep(nl_->sim_plan(), 1, pi_words, {}, dff_words, {});
+    return gather_outputs(1);
 }
 
 std::vector<std::uint64_t> Simulator::run_with_functions(
@@ -17,7 +145,8 @@ std::vector<std::uint64_t> Simulator::run_with_functions(
     if (overrides.size() != nl_->camo_cells().size())
         throw std::invalid_argument(
             "Simulator: one override per camouflaged cell required");
-    return run_impl(pi_words, overrides, dff_words);
+    sweep(nl_->sim_plan(), 1, pi_words, overrides, dff_words, {});
+    return gather_outputs(1);
 }
 
 std::vector<std::uint64_t> Simulator::run_noisy(
@@ -27,10 +156,81 @@ std::vector<std::uint64_t> Simulator::run_noisy(
     if (flip_masks.size() != nl_->camo_cells().size())
         throw std::invalid_argument(
             "Simulator: one flip mask per camouflaged cell required");
-    return run_impl(pi_words, {}, dff_words, flip_masks);
+    sweep(nl_->sim_plan(), 1, pi_words, {}, dff_words, flip_masks);
+    return gather_outputs(1);
 }
 
-std::vector<std::uint64_t> Simulator::run_impl(
+std::vector<std::uint64_t> Simulator::run_words(
+    std::span<const std::uint64_t> pi_words, std::size_t n_words,
+    std::span<const std::uint64_t> dff_words) const {
+    sweep(nl_->sim_plan(), n_words, pi_words, {}, dff_words, {});
+    return gather_outputs(n_words);
+}
+
+std::vector<std::uint64_t> Simulator::run_words_with_functions(
+    std::span<const std::uint64_t> pi_words, std::size_t n_words,
+    std::span<const core::Bool2> overrides,
+    std::span<const std::uint64_t> dff_words) const {
+    if (overrides.size() != nl_->camo_cells().size())
+        throw std::invalid_argument(
+            "Simulator: one override per camouflaged cell required");
+    sweep(nl_->sim_plan(), n_words, pi_words, overrides, dff_words, {});
+    return gather_outputs(n_words);
+}
+
+std::vector<bool> Simulator::run_single(const std::vector<bool>& pi) const {
+    sweep(nl_->sim_plan(), 1, pack_single(pi), {}, {}, {});
+    const std::vector<PortRef>& outputs = nl_->outputs();
+    std::vector<bool> out(outputs.size());
+    for (std::size_t o = 0; o < outputs.size(); ++o)
+        out[o] = (values_[outputs[o].gate] & 1) != 0;
+    return out;
+}
+
+std::span<const char> Simulator::run_single_all_span(
+    const std::vector<bool>& pi) const {
+    sweep(nl_->sim_plan(), 1, pack_single(pi), {}, {}, {});
+    const std::size_t n = nl_->size();
+    bit_scratch_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        bit_scratch_[i] = (values_[i] & 1) != 0 ? 1 : 0;
+    return bit_scratch_;
+}
+
+std::vector<char> Simulator::run_single_all(const std::vector<bool>& pi) const {
+    const std::span<const char> bits = run_single_all_span(pi);
+    return {bits.begin(), bits.end()};
+}
+
+std::vector<std::uint64_t> Simulator::run_all(
+    std::span<const std::uint64_t> pi_words) const {
+    sweep(nl_->sim_plan(), 1, pi_words, {}, {}, {});
+    return {values_.begin(), values_.begin() + static_cast<std::ptrdiff_t>(nl_->size())};
+}
+
+std::span<const std::uint64_t> Simulator::run_all_span(
+    std::span<const std::uint64_t> pi_words) const {
+    sweep(nl_->sim_plan(), 1, pi_words, {}, {}, {});
+    return {values_.data(), nl_->size()};
+}
+
+std::span<const char> Simulator::run_frontier_single(
+    const std::vector<bool>& pi) const {
+    sweep(nl_->frontier_plan(), 1, pack_single(pi), {}, {}, {});
+    // Unpack only the read set: everything else is stale by contract.
+    bit_scratch_.resize(nl_->size());
+    for (const GateId g : nl_->frontier_read_set())
+        bit_scratch_[g] = (values_[g] & 1) != 0 ? 1 : 0;
+    return bit_scratch_;
+}
+
+std::span<const std::uint64_t> Simulator::run_frontier_words(
+    std::span<const std::uint64_t> pi_words, std::size_t n_words) const {
+    sweep(nl_->frontier_plan(), n_words, pi_words, {}, {}, {});
+    return {values_.data(), nl_->size() * n_words};
+}
+
+std::vector<std::uint64_t> Simulator::run_reference(
     std::span<const std::uint64_t> pi_words,
     std::span<const core::Bool2> overrides,
     std::span<const std::uint64_t> dff_words,
@@ -41,12 +241,12 @@ std::vector<std::uint64_t> Simulator::run_impl(
     if (!dff_words.empty() && dff_words.size() != nl.dffs().size())
         throw std::invalid_argument("Simulator: wrong DFF state count");
 
-    values_.assign(nl.size(), 0);
+    std::vector<std::uint64_t> values(nl.size(), 0);
     for (std::size_t i = 0; i < pi_words.size(); ++i)
-        values_[nl.inputs()[i]] = pi_words[i];
+        values[nl.inputs()[i]] = pi_words[i];
     if (!dff_words.empty())
         for (std::size_t i = 0; i < dff_words.size(); ++i)
-            values_[nl.dffs()[i]] = dff_words[i];
+            values[nl.dffs()[i]] = dff_words[i];
 
     for (GateId id : nl.topological_order()) {
         const Gate& g = nl.gate(id);
@@ -55,22 +255,22 @@ std::vector<std::uint64_t> Simulator::run_impl(
             case CellType::Dff:
                 break;  // already seeded
             case CellType::Const0:
-                values_[id] = 0;
+                values[id] = 0;
                 break;
             case CellType::Const1:
-                values_[id] = ~std::uint64_t{0};
+                values[id] = ~std::uint64_t{0};
                 break;
             case CellType::Logic: {
                 const core::Bool2 fn =
                     (!overrides.empty() && g.camo_index >= 0)
                         ? overrides[static_cast<std::size_t>(g.camo_index)]
                         : g.fn;
-                const std::uint64_t a = values_[g.a];
-                const std::uint64_t b = g.b == kNoGate ? 0 : values_[g.b];
+                const std::uint64_t a = values[g.a];
+                const std::uint64_t b = g.b == kNoGate ? 0 : values[g.b];
                 std::uint64_t v = Simulator::eval_word(fn, a, b);
                 if (!flip_masks.empty() && g.camo_index >= 0)
                     v ^= flip_masks[static_cast<std::size_t>(g.camo_index)];
-                values_[id] = v;
+                values[id] = v;
                 break;
             }
         }
@@ -78,35 +278,7 @@ std::vector<std::uint64_t> Simulator::run_impl(
 
     std::vector<std::uint64_t> out;
     out.reserve(nl.outputs().size());
-    for (const PortRef& po : nl.outputs()) out.push_back(values_[po.gate]);
-    return out;
-}
-
-std::vector<char> Simulator::run_single_all(const std::vector<bool>& pi) const {
-    std::vector<std::uint64_t> words(pi.size());
-    for (std::size_t i = 0; i < pi.size(); ++i)
-        words[i] = pi[i] ? ~std::uint64_t{0} : 0;
-    (void)run_impl(words, {}, {});
-    std::vector<char> out(values_.size());
-    for (std::size_t i = 0; i < values_.size(); ++i)
-        out[i] = (values_[i] & 1) != 0 ? 1 : 0;
-    return out;
-}
-
-std::vector<std::uint64_t> Simulator::run_all(
-    std::span<const std::uint64_t> pi_words) const {
-    (void)run_impl(pi_words, {}, {});
-    return values_;
-}
-
-std::vector<bool> Simulator::run_single(const std::vector<bool>& pi) const {
-    std::vector<std::uint64_t> words(pi.size());
-    for (std::size_t i = 0; i < pi.size(); ++i)
-        words[i] = pi[i] ? ~std::uint64_t{0} : 0;
-    const auto out_words = run(words);
-    std::vector<bool> out(out_words.size());
-    for (std::size_t i = 0; i < out_words.size(); ++i)
-        out[i] = (out_words[i] & 1) != 0;
+    for (const PortRef& po : nl.outputs()) out.push_back(values[po.gate]);
     return out;
 }
 

@@ -85,6 +85,17 @@ void accumulate(EncoderStats& into, const EncoderStats& from) {
 CircuitEncoder::CircuitEncoder(SolverBackend& solver, EncoderMode mode)
     : solver_(solver), mode_(mode) {}
 
+CircuitEncoder::~CircuitEncoder() = default;
+
+const netlist::Simulator& CircuitEncoder::sim_for(
+    const netlist::Netlist& nl) const {
+    if (sim_nl_ != &nl) {
+        sim_ = std::make_unique<netlist::Simulator>(nl);
+        sim_nl_ = &nl;
+    }
+    return *sim_;
+}
+
 Lit CircuitEncoder::constant(bool value) {
     if (const_var_ == kNoVar) {
         const_var_ = solver_.new_var();
@@ -368,8 +379,10 @@ void CircuitEncoder::add_agreement(const netlist::Netlist& nl,
         for (std::size_t o = 0; o < enc.outs.size(); ++o)
             fix_var(solver_, enc.outs[o], y[o]);
     } else {
-        add_agreement_compact(nl, keys, x, y,
-                              netlist::Simulator(nl).run_single_all(x));
+        // Cone-restricted sweep: only the steps feeding the key-cone
+        // frontier and the primary outputs run, which is exactly the set
+        // add_agreement_compact reads.
+        add_agreement_compact(nl, keys, x, y, sim_for(nl).run_frontier_single(x));
     }
 
     const auto dv = static_cast<std::uint64_t>(solver_.num_vars()) - v0;
@@ -394,7 +407,7 @@ void CircuitEncoder::add_agreement_pair(const netlist::Netlist& nl,
     const auto v0 = static_cast<std::uint64_t>(solver_.num_vars());
     const auto c0 = static_cast<std::uint64_t>(solver_.num_clauses());
 
-    const std::vector<char> values = netlist::Simulator(nl).run_single_all(x);
+    const std::span<const char> values = sim_for(nl).run_frontier_single(x);
     add_agreement_compact(nl, keys1, x, y, values);
     add_agreement_compact(nl, keys2, x, y, values);
 
@@ -420,21 +433,30 @@ void CircuitEncoder::add_agreement_batch(
         return;
     }
     const std::size_t n_pis = nl.inputs().size();
-    const netlist::Simulator sim(nl);
-    std::vector<std::uint64_t> pi_words(n_pis);
-    std::vector<char> values(nl.size());
-    for (std::size_t base = 0; base < xs.size(); base += 64) {
-        const std::size_t lanes = std::min<std::size_t>(64, xs.size() - base);
-        for (std::size_t i = 0; i < n_pis; ++i) {
-            std::uint64_t w = 0;
+    const netlist::Simulator& sim = sim_for(nl);
+    const std::vector<GateId>& reads = nl.frontier_read_set();
+    // Multi-word cone-restricted sweeps: up to kSweepWords x 64 queued
+    // patterns share one pass over the frontier sub-plan.
+    constexpr std::size_t kSweepWords = 16;
+    std::vector<std::uint64_t> pi_words;
+    std::vector<char> values(nl.size(), 0);
+    for (std::size_t base = 0; base < xs.size(); base += kSweepWords * 64) {
+        const std::size_t lanes =
+            std::min<std::size_t>(kSweepWords * 64, xs.size() - base);
+        const std::size_t n_words = (lanes + 63) / 64;
+        pi_words.assign(n_pis * n_words, 0);
+        for (std::size_t i = 0; i < n_pis; ++i)
             for (std::size_t j = 0; j < lanes; ++j)
-                if (xs[base + j].at(i)) w |= std::uint64_t{1} << j;
-            pi_words[i] = w;
-        }
-        const std::vector<std::uint64_t> words = sim.run_all(pi_words);
+                if (xs[base + j].at(i))
+                    pi_words[i * n_words + j / 64] |= std::uint64_t{1} << (j % 64);
+        const std::span<const std::uint64_t> words =
+            sim.run_frontier_words(pi_words, n_words);
         for (std::size_t j = 0; j < lanes; ++j) {
-            for (std::size_t g = 0; g < words.size(); ++g)
-                values[g] = static_cast<char>((words[g] >> j) & 1);
+            const std::size_t w = j / 64;
+            const std::size_t bit = j % 64;
+            for (const GateId g : reads)
+                values[g] = static_cast<char>(
+                    (words[std::size_t{g} * n_words + w] >> bit) & 1);
             const auto v0 = static_cast<std::uint64_t>(solver_.num_vars());
             const auto c0 = static_cast<std::uint64_t>(solver_.num_clauses());
             for (const std::vector<Var>& keys : keys_list)
@@ -456,7 +478,7 @@ void CircuitEncoder::add_agreement_compact(const netlist::Netlist& nl,
                                            const std::vector<Var>& keys,
                                            const std::vector<bool>& x,
                                            const std::vector<bool>& y,
-                                           const std::vector<char>& values) {
+                                           std::span<const char> values) {
     if (x.size() != nl.inputs().size())
         throw std::invalid_argument("CircuitEncoder: agreement input size mismatch");
     if (y.size() != nl.outputs().size())

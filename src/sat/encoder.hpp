@@ -33,7 +33,9 @@
 // JobSpec → journal → run_campaign --encoder=...).
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -41,6 +43,10 @@
 
 #include "netlist/netlist.hpp"
 #include "sat/backend.hpp"
+
+namespace gshe::netlist {
+class Simulator;  // netlist/simulator.hpp
+}
 
 namespace gshe::sat {
 
@@ -94,6 +100,7 @@ class CircuitEncoder {
 public:
     explicit CircuitEncoder(SolverBackend& solver,
                             EncoderMode mode = EncoderMode::Legacy);
+    ~CircuitEncoder();  // out-of-line: owns a unique_ptr<Simulator>
 
     EncoderMode mode() const { return mode_; }
     const EncoderStats& stats() const { return stats_; }
@@ -209,7 +216,11 @@ private:
                                const std::vector<Var>& keys,
                                const std::vector<bool>& x,
                                const std::vector<bool>& y,
-                               const std::vector<char>& values);
+                               std::span<const char> values);
+    /// Cached Simulator for the agreement sweeps: one instance per netlist
+    /// identity, so scratch buffers persist across DIPs instead of being
+    /// reallocated per call.
+    const netlist::Simulator& sim_for(const netlist::Netlist& nl) const;
     void add_difference_impl(const std::vector<Lit>& a,
                              const std::vector<Lit>& b,
                              std::optional<Lit> guard);
@@ -222,6 +233,9 @@ private:
     std::unordered_map<std::string, std::int32_t> camo_hash_;
     std::unordered_set<std::string> forbidden_done_;
     Var const_var_ = kNoVar;
+
+    mutable const netlist::Netlist* sim_nl_ = nullptr;
+    mutable std::unique_ptr<netlist::Simulator> sim_;
 };
 
 }  // namespace gshe::sat
